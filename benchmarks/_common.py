@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated table so it appears in the benchmark log (-s)."""
+    print(f"\n=== {title} ===")
+    print(text)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Benchmark: Figure 3 — conflict-event trains and autocorrelograms.
+
+Regenerates the event train and autocorrelogram of the textbook prime+probe
+attacker (the paper's periodic reference series).  The RL agents' trains are
+produced by the Table VIII benchmark; this one isolates the fast, deterministic
+part so the figure's inputs can be rebuilt quickly.
+"""
+
+import pytest
+
+from benchmarks._common import emit
+from repro.analysis.autocorrelogram import event_train_autocorrelogram
+from repro.attacks.scripted import TextbookPrimeProbeAttacker, run_scripted_attacker
+from repro.detection.autocorrelation import AutocorrelationDetector
+from repro.experiments.table8_fig3 import make_covert_env_factory
+
+
+def _textbook_figure_data():
+    env = make_covert_env_factory(num_sets=4, episode_length=160)(0)
+    stats = run_scripted_attacker(env, TextbookPrimeProbeAttacker(env), episodes=1)
+    events = env.backend.events
+    train = events.conflict_train() if events is not None else []
+    return event_train_autocorrelogram(train, max_lag=30)
+
+
+@pytest.mark.figure
+def test_fig3_autocorrelogram(benchmark):
+    figure = benchmark(_textbook_figure_data)
+    emit("Figure 3 (textbook event train)",
+         f"train length = {figure['length']}, "
+         f"max autocorrelation beyond lag 0 = {figure['max_beyond_lag_zero']:.3f}")
+    assert figure["length"] > 10
+    assert figure["max_beyond_lag_zero"] > 0.75
+    detector = AutocorrelationDetector()
+    assert detector.detect(figure["train"])

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 5 — bit rate versus error rate on every machine.
+
+Expected shape: both channels keep their bit rate as noise grows (the curve
+spreads along the error axis), and StealthyStreamline's curve sits above the
+LRU address-based curve at comparable error rates.
+"""
+
+import pytest
+
+from benchmarks._common import emit
+from repro.experiments import table10_fig5
+
+
+@pytest.mark.figure
+def test_fig5_bitrate_error_curves(benchmark):
+    curves = benchmark(table10_fig5.figure5_curves, message_bits=2048, trials=3)
+    lines = []
+    for machine, channels in curves.items():
+        for channel, points in channels.items():
+            best = points[0]
+            lines.append(f"{machine:20s} {channel:22s} "
+                         f"{best['bit_rate_mbps']:.2f} Mbps @ {best['error_rate_mean']:.3f} error")
+    emit("Figure 5 (lowest-noise operating points)", "\n".join(lines))
+    assert len(curves) == 4
+    for channels in curves.values():
+        stealthy = channels["stealthy_streamline"][0]["bit_rate_mbps"]
+        lru = channels["lru_address_based"][0]["bit_rate_mbps"]
+        assert stealthy > lru

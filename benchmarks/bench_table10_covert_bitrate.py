@@ -1,0 +1,24 @@
+"""Benchmark: Table X — covert-channel bit rates on (simulated) real machines.
+
+Expected shape: StealthyStreamline beats the LRU address-based channel on every
+machine, with a larger relative improvement on the 12-way RocketLake L1Ds than
+on the 8-way parts (the paper reports up to 24% and up to 71% respectively).
+"""
+
+import pytest
+
+from benchmarks._common import emit
+from repro.experiments import table10_fig5
+
+
+@pytest.mark.table
+def test_table10_covert_bitrate(benchmark):
+    rows = benchmark(table10_fig5.run, message_bits=2048)
+    emit("Table X", table10_fig5.format_results(rows))
+    assert len(rows) == 4
+    for row in rows:
+        assert row["ss_bit_rate_mbps"] > row["lru_bit_rate_mbps"]
+        assert row["improvement"] > 0.1
+    eight_way = max(row["improvement"] for row in rows if "8way" in row["l1d_config"])
+    twelve_way = max(row["improvement"] for row in rows if "12way" in row["l1d_config"])
+    assert twelve_way > eight_way

@@ -1,0 +1,13 @@
+"""Benchmark: Table I — the known-attack catalogue verified on the simulator."""
+
+import pytest
+
+from benchmarks._common import emit
+from repro.experiments import table1_known_attacks
+
+
+@pytest.mark.table
+def test_table1_known_attacks(benchmark):
+    rows = benchmark(table1_known_attacks.run)
+    emit("Table I", table1_known_attacks.format_results(rows))
+    assert all(row["accuracy"] == 1.0 for row in rows)

@@ -1,0 +1,24 @@
+"""Benchmark: Table III — attack exploration on simulated real hardware.
+
+Trains a PPO agent against a blackbox machine model (hidden replacement
+policy, measurement noise, no flush) and reports the attack accuracy and the
+extracted sequence.  At bench scale a single 4-way L2 partition is explored;
+``REPRO_BENCH_SCALE=paper`` covers all seven machine/level combinations.
+"""
+
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.experiments import table3
+
+
+@pytest.mark.table
+def test_table3_real_hardware(benchmark, bench_scale):
+    rows = run_once(benchmark, table3.run, scale=bench_scale)
+    emit("Table III", table3.format_results(rows))
+    assert rows
+    # Sanity: the agent is at least at the accuracy of always guessing one of
+    # the two possible secrets; the table records how far beyond that the
+    # bench-scale budget got on the noisy, hidden-policy blackbox.
+    assert all(row["accuracy"] >= 0.45 for row in rows)
+    assert all(row["env_steps"] > 0 for row in rows)

@@ -1,0 +1,22 @@
+"""Benchmark: Table V — RL training statistics per replacement policy.
+
+Expected shape (matching the paper): RRIP takes more epochs to converge and
+yields a longer attack sequence than LRU and PLRU.
+"""
+
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.experiments import table5
+
+
+@pytest.mark.table
+def test_table5_replacement_policies(benchmark, bench_scale):
+    rows = run_once(benchmark, table5.run, scale=bench_scale)
+    emit("Table V", table5.format_results(rows))
+    by_policy = {row["replacement_policy"]: row for row in rows}
+    assert set(by_policy) == {"lru", "plru", "rrip"}
+    # RRIP requires at least as much training as the easiest of LRU/PLRU.
+    easiest = min(by_policy["lru"]["epochs_to_converge"],
+                  by_policy["plru"]["epochs_to_converge"])
+    assert by_policy["rrip"]["epochs_to_converge"] >= easiest

@@ -1,0 +1,23 @@
+"""Benchmark: Table VIII — bypassing CC-Hunter's autocorrelation detection.
+
+Expected shape: the textbook prime+probe attacker shows near-perfect
+periodicity (high maximum autocorrelation); the autocorrelation-penalized RL
+agent stays well below the textbook attacker's autocorrelation.
+"""
+
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.experiments import table8_fig3
+
+
+@pytest.mark.table
+def test_table8_cchunter_bypass(benchmark, bench_scale):
+    rows = run_once(benchmark, table8_fig3.run, scale=bench_scale)
+    emit("Table VIII", table8_fig3.format_results(rows))
+    by_attack = {row["attack"]: row for row in rows}
+    assert set(by_attack) == {"textbook", "RL baseline", "RL autocor"}
+    assert by_attack["textbook"]["max_autocorrelation"] > 0.75
+    assert by_attack["textbook"]["guess_accuracy"] > 0.95
+    assert (by_attack["RL autocor"]["max_autocorrelation"]
+            <= by_attack["textbook"]["max_autocorrelation"])

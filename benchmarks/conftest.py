@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rows it produced.  The training budget is controlled by the
+``REPRO_BENCH_SCALE`` environment variable (``smoke``, ``bench`` — the
+default — or ``paper``); see EXPERIMENTS.md for how the bench-scale budgets
+relate to the paper's GPU-cluster budgets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import get_scale
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "table: benchmark regenerating a paper table")
+    config.addinivalue_line("markers", "figure: benchmark regenerating a paper figure")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The experiment scale used by all RL-based benchmarks."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "bench"))
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated table so it appears in the benchmark log."""
+    print(f"\n=== {title} ===")
+    print(text)

@@ -1,0 +1,4 @@
+"""Setup shim for editable installs with older setuptools/pip toolchains."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""AutoCAT reproduction: RL for automated exploration of cache-timing attacks.
+
+This package reproduces the system described in "AutoCAT: Reinforcement
+Learning for Automated Exploration of Cache-Timing Attacks" (HPCA 2023):
+
+* :mod:`repro.cache` — the cache simulator substrate (replacement policies,
+  prefetchers, PL cache, two-level hierarchy, detection event hooks);
+* :mod:`repro.env` — the cache guessing game as a gym-style RL environment;
+* :mod:`repro.rl` — PPO (on a from-scratch numpy autodiff stack in
+  :mod:`repro.autodiff` / :mod:`repro.nn`), replay, and search baselines;
+* :mod:`repro.detection` — CC-Hunter, Cyclone, and miss-count detectors;
+* :mod:`repro.attacks` — textbook attacks, LRU-state attacks,
+  StealthyStreamline, covert channels, and a Spectre-v1 demo;
+* :mod:`repro.hardware` — blackbox machine models replacing real processors;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.cache import Cache, CacheConfig
+from repro.env import CacheGuessingGameEnv, EnvConfig, RewardConfig
+from repro.rl import PPOConfig, PPOTrainer
+
+__all__ = [
+    "__version__",
+    "Cache",
+    "CacheConfig",
+    "CacheGuessingGameEnv",
+    "EnvConfig",
+    "RewardConfig",
+    "PPOConfig",
+    "PPOTrainer",
+]

@@ -1,0 +1,20 @@
+"""Attack-sequence analysis: classification, metrics, and search-space estimates."""
+
+from repro.analysis.classifier import classify_sequence, classify_labels
+from repro.analysis.autocorrelogram import event_train_autocorrelogram
+from repro.analysis.metrics import bit_rate, guess_accuracy, hamming_distance
+from repro.analysis.search_space import (
+    prime_probe_search_space,
+    brute_force_steps_estimate,
+)
+
+__all__ = [
+    "classify_sequence",
+    "classify_labels",
+    "event_train_autocorrelogram",
+    "bit_rate",
+    "guess_accuracy",
+    "hamming_distance",
+    "prime_probe_search_space",
+    "brute_force_steps_estimate",
+]

@@ -1,0 +1,20 @@
+"""Autocorrelogram analysis of conflict-event trains (Figure 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.detection.autocorrelation import autocorrelogram
+
+
+def event_train_autocorrelogram(train: Sequence[int], max_lag: int = 30) -> Dict:
+    """Figure-3 style summary of one conflict-event train."""
+    series = list(train)
+    coefficients = autocorrelogram(series, max_lag=min(max_lag, max(len(series) - 1, 0)))
+    beyond_zero = coefficients[1:] if len(coefficients) > 1 else []
+    return {
+        "train": series,
+        "length": len(series),
+        "autocorrelogram": coefficients,
+        "max_beyond_lag_zero": max(beyond_zero) if beyond_zero else 0.0,
+    }

@@ -1,0 +1,86 @@
+"""Rule-based classification of attack sequences into known categories.
+
+The paper classifies the sequences AutoCAT finds by hand (Tables III and IV
+report an "Attack Category" per sequence).  This classifier automates the same
+judgement with rules over the action structure:
+
+* uses flush before the trigger and reloads shared lines after -> flush+reload;
+* accesses shared (victim-reachable) lines after the trigger without flushing
+  -> evict+reload (when it evicted them first) or an LRU-state attack (when
+  the accesses before the trigger cannot have evicted the victim's line);
+* re-accesses only its own, disjoint lines after the trigger -> prime+probe;
+* fewer pre-trigger accesses than the associativity (so the victim line cannot
+  have been evicted) -> LRU-state attack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.attacks.sequences import AttackCategory, AttackSequence
+from repro.env.actions import ActionKind
+from repro.env.config import EnvConfig
+
+
+def _split_by_trigger(sequence: AttackSequence) -> tuple:
+    """Actions before the first trigger and (non-trigger) actions after it.
+
+    RL-found sequences sometimes contain redundant extra triggers; the probes
+    that matter are everything the attacker does after the victim first ran.
+    """
+    kinds = [action.kind for action in sequence.actions]
+    if ActionKind.TRIGGER not in kinds:
+        return sequence.actions, []
+    first = kinds.index(ActionKind.TRIGGER)
+    after = [action for action in sequence.actions[first + 1:]
+             if action.kind is not ActionKind.TRIGGER]
+    return sequence.actions[:first], after
+
+
+def classify_sequence(sequence: AttackSequence, config: EnvConfig) -> AttackCategory:
+    """Assign an attack category to a sequence found for ``config``."""
+    before, after = _split_by_trigger(sequence)
+    if sequence.trigger_count == 0:
+        return AttackCategory.UNKNOWN
+
+    shared = set(config.shared_addresses)
+    num_ways = config.cache.num_ways
+
+    flushed_shared = {action.address for action in before
+                      if action.kind is ActionKind.FLUSH and action.address in shared}
+    accessed_before = [action.address for action in before
+                       if action.kind is ActionKind.ACCESS]
+    accessed_after = [action.address for action in after
+                      if action.kind is ActionKind.ACCESS]
+    reloads_shared = any(address in shared for address in accessed_after)
+
+    if flushed_shared and reloads_shared:
+        return AttackCategory.FLUSH_RELOAD
+
+    if reloads_shared:
+        # Shared lines are re-accessed after the victim ran.  If the attacker
+        # could have evicted the victim's line beforehand (enough distinct
+        # accesses to fill the set), this is evict+reload; otherwise the leak
+        # must come through the replacement state.
+        distinct_before = len(set(accessed_before))
+        if distinct_before >= num_ways:
+            return AttackCategory.EVICT_RELOAD
+        return AttackCategory.LRU_STATE
+
+    probes_own = [address for address in accessed_after if address not in shared]
+    primed_own = [address for address in accessed_before if address not in shared]
+    if probes_own and primed_own:
+        reprobed = set(probes_own) & set(primed_own)
+        if reprobed and len(set(primed_own)) >= num_ways:
+            return AttackCategory.PRIME_PROBE
+        if reprobed:
+            return AttackCategory.LRU_STATE
+        return AttackCategory.PRIME_PROBE
+    if probes_own:
+        return AttackCategory.LRU_STATE
+    return AttackCategory.UNKNOWN
+
+
+def classify_labels(labels: Sequence[str], config: EnvConfig) -> AttackCategory:
+    """Classify a sequence given in the paper's compact label notation."""
+    return classify_sequence(AttackSequence.from_labels(labels), config)

@@ -1,0 +1,28 @@
+"""Channel and attack quality metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def hamming_distance(sent: Sequence[int], received: Sequence[int]) -> int:
+    """Number of differing bit positions (the paper's error metric)."""
+    if len(sent) != len(received):
+        raise ValueError("bit strings must have equal length")
+    return sum(1 for a, b in zip(sent, received) if int(a) != int(b))
+
+
+def bit_rate(guesses: int, steps: int) -> float:
+    """Guesses per step — the bit-rate metric of Tables VIII and IX."""
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    return guesses / steps
+
+
+def guess_accuracy(correct: int, guesses: int) -> float:
+    """Fraction of correct guesses (0.0 when no guess was made)."""
+    if guesses < 0 or correct < 0 or correct > guesses:
+        raise ValueError("invalid guess counts")
+    if guesses == 0:
+        return 0.0
+    return correct / guesses

@@ -1,0 +1,53 @@
+"""Attack library: textbook attack sequences, LRU-state attacks, Streamline,
+StealthyStreamline, covert channels, and a Spectre-v1 demonstration.
+
+The RL agent discovers attack *sequences*; this package provides the known
+attack *categories* (Table I) as scripted generators so they can be compared
+against, evaluated on the simulator, and used to train detectors.
+"""
+
+from repro.attacks.sequences import AttackSequence, AttackCategory
+from repro.attacks.evaluate import (
+    evaluate_action_sequence,
+    observation_signature,
+    distinguishing_accuracy,
+)
+from repro.attacks.textbook import (
+    prime_probe_sequence,
+    flush_reload_sequence,
+    evict_reload_sequence,
+    textbook_attack_for_config,
+)
+from repro.attacks.scripted import TextbookPrimeProbeAttacker, run_scripted_attacker
+from repro.attacks.lru_attacks import (
+    LRUAddressBasedChannel,
+    lru_address_based_sequence,
+    lru_set_based_sequence,
+)
+from repro.attacks.streamline import StreamlineChannel
+from repro.attacks.stealthy_streamline import StealthyStreamlineChannel
+from repro.attacks.covert import ChannelTransmissionResult, SimulatedCovertChannel
+from repro.attacks.spectre import SpectreV1Victim, run_spectre_demo
+
+__all__ = [
+    "AttackSequence",
+    "AttackCategory",
+    "evaluate_action_sequence",
+    "observation_signature",
+    "distinguishing_accuracy",
+    "prime_probe_sequence",
+    "flush_reload_sequence",
+    "evict_reload_sequence",
+    "textbook_attack_for_config",
+    "TextbookPrimeProbeAttacker",
+    "run_scripted_attacker",
+    "LRUAddressBasedChannel",
+    "lru_address_based_sequence",
+    "lru_set_based_sequence",
+    "StreamlineChannel",
+    "StealthyStreamlineChannel",
+    "ChannelTransmissionResult",
+    "SimulatedCovertChannel",
+    "SpectreV1Victim",
+    "run_spectre_demo",
+]

@@ -1,0 +1,153 @@
+"""Covert-channel framework on the cache simulator.
+
+A covert channel transmits a bit string from a *sender* (playing the victim
+role: its accesses are the secret-dependent ones) to a *receiver* (the
+attacker, who measures its own access latencies).  Channels implement one
+symbol transfer; the framework handles message framing, error counting, and
+the stealth statistics (sender misses) that the miss-count detector observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+
+
+@dataclass
+class ChannelTransmissionResult:
+    """Outcome of transmitting a message through a simulated covert channel."""
+
+    sent_bits: List[int]
+    received_bits: List[int]
+    total_accesses: int
+    measured_accesses: int
+    sender_accesses: int
+    sender_misses: int
+    symbols: int
+
+    @property
+    def bit_errors(self) -> int:
+        return sum(1 for sent, received in zip(self.sent_bits, self.received_bits)
+                   if sent != received)
+
+    @property
+    def error_rate(self) -> float:
+        if not self.sent_bits:
+            return 0.0
+        return self.bit_errors / len(self.sent_bits)
+
+    @property
+    def bits_per_access(self) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return len(self.sent_bits) / self.total_accesses
+
+    @property
+    def measured_fraction(self) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return self.measured_accesses / self.total_accesses
+
+    @property
+    def stealthy(self) -> bool:
+        """True when the sender (victim) never missed — bypasses miss-count detection."""
+        return self.sender_misses == 0
+
+
+class SimulatedCovertChannel:
+    """Base class: one cache set shared by a sender and a receiver."""
+
+    name = "base"
+    bits_per_symbol = 1
+
+    def __init__(self, num_ways: int = 8, rep_policy: str = "lru", seed: int = 0):
+        self.num_ways = num_ways
+        self.rep_policy = rep_policy
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.cache = self._build_cache()
+        self.total_accesses = 0
+        self.measured_accesses = 0
+        self.sender_accesses = 0
+        self.sender_misses = 0
+
+    def _build_cache(self) -> Cache:
+        config = CacheConfig.fully_associative(num_ways=self.num_ways,
+                                               rep_policy=self.rep_policy,
+                                               rng_seed=self.seed)
+        return Cache(config, rng=self.rng)
+
+    # ------------------------------------------------------------- primitives
+    def _receiver_access(self, address: int, measure: bool = False) -> bool:
+        result = self.cache.access(address, domain="attacker")
+        self.total_accesses += 1
+        if measure:
+            self.measured_accesses += 1
+        return result.hit
+
+    def _receiver_flush(self, address: int) -> None:
+        self.cache.flush(address, domain="attacker")
+        self.total_accesses += 1
+
+    def _sender_access(self, address: int) -> bool:
+        result = self.cache.access(address, domain="victim")
+        self.total_accesses += 1
+        self.sender_accesses += 1
+        if not result.hit:
+            self.sender_misses += 1
+        return result.hit
+
+    # -------------------------------------------------------------- interface
+    def prepare(self) -> None:
+        """Establish the channel's steady-state cache contents."""
+
+    def send_and_receive_symbol(self, value: int) -> int:  # pragma: no cover - abstract
+        """Transmit one symbol (``value`` in [0, 2**bits_per_symbol)); return the decode."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ transmission
+    def _reset_counters(self) -> None:
+        self.total_accesses = 0
+        self.measured_accesses = 0
+        self.sender_accesses = 0
+        self.sender_misses = 0
+
+    def transmit(self, bits: List[int]) -> ChannelTransmissionResult:
+        """Send a bit string; return the received bits and channel statistics."""
+        self._reset_counters()
+        self.cache.reset()
+        self.prepare()
+        bits = [int(bit) & 1 for bit in bits]
+        # Pad to a whole number of symbols.
+        padded = list(bits)
+        while len(padded) % self.bits_per_symbol:
+            padded.append(0)
+        received: List[int] = []
+        symbols = 0
+        for start in range(0, len(padded), self.bits_per_symbol):
+            chunk = padded[start:start + self.bits_per_symbol]
+            value = 0
+            for bit in chunk:
+                value = (value << 1) | bit
+            decoded = self.send_and_receive_symbol(value)
+            symbols += 1
+            for position in reversed(range(self.bits_per_symbol)):
+                received.append((decoded >> position) & 1)
+        return ChannelTransmissionResult(
+            sent_bits=bits,
+            received_bits=received[: len(bits)],
+            total_accesses=self.total_accesses,
+            measured_accesses=self.measured_accesses,
+            sender_accesses=self.sender_accesses,
+            sender_misses=self.sender_misses,
+            symbols=symbols,
+        )
+
+    def random_message(self, length: int = 2048) -> List[int]:
+        """A random bit string, as used in the paper's bit-rate measurements."""
+        return [int(bit) for bit in self.rng.integers(0, 2, size=length)]

@@ -1,0 +1,73 @@
+"""Evaluating whether an attack prefix leaks the victim's secret.
+
+An attack prefix (a sequence of non-guess actions) *works* when the attacker's
+observed hit/miss pattern differs across secrets, so that appending the right
+guess yields high accuracy.  ``distinguishing_accuracy`` quantifies this: it
+executes the prefix once per (secret, trial), maps each distinct observation
+signature to its most likely secret, and reports the resulting guess accuracy.
+This is the criterion used by the search baselines (Sec. VI-A) and by the
+Table I / Table IV verification of textbook sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def observation_signature(env, action_indices: Sequence[int],
+                          secret) -> Tuple[Tuple[Optional[bool], ...], int]:
+    """Run ``action_indices`` on ``env`` with a pinned secret; return (signature, steps).
+
+    The signature is the tuple of per-step hit/miss observations (None when
+    the step produced no latency observation).
+    """
+    env.reset(secret=secret)
+    signature: List[Optional[bool]] = []
+    steps = 0
+    for action_index in action_indices:
+        _observation, _reward, done, info = env.step(int(action_index))
+        signature.append(info.get("hit"))
+        steps += 1
+        if done:
+            break
+    return tuple(signature), steps
+
+
+def distinguishing_accuracy(signatures_by_secret: Dict) -> float:
+    """Best achievable guess accuracy given observation signatures per secret.
+
+    For each signature, the attacker guesses the secret most frequently
+    associated with it; accuracy is the fraction of samples that guess gets
+    right (uniform prior over secrets).
+    """
+    signature_counts: Dict[tuple, Counter] = defaultdict(Counter)
+    total = 0
+    for secret, signatures in signatures_by_secret.items():
+        for signature in signatures:
+            signature_counts[signature][secret] += 1
+            total += 1
+    if total == 0:
+        return 0.0
+    correct = sum(counter.most_common(1)[0][1] for counter in signature_counts.values())
+    return correct / total
+
+
+def evaluate_action_sequence(env, action_indices: Sequence[int],
+                             trials: int = 4) -> Tuple[float, int]:
+    """Accuracy achievable by the prefix ``action_indices`` on ``env``.
+
+    Executes the prefix ``trials`` times per possible secret (multiple trials
+    matter for noisy or randomized caches) and returns (accuracy, env_steps).
+    """
+    secrets: List = list(env.config.victim_addresses)
+    if env.config.victim_no_access_enable:
+        secrets.append(None)
+    signatures_by_secret: Dict = {secret: [] for secret in secrets}
+    total_steps = 0
+    for secret in secrets:
+        for _ in range(trials):
+            signature, steps = observation_signature(env, action_indices, secret)
+            signatures_by_secret[secret].append(signature)
+            total_steps += steps
+    return distinguishing_accuracy(signatures_by_secret), total_steps

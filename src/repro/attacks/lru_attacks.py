@@ -1,0 +1,92 @@
+"""LRU-state attacks (Xiong & Szefer, HPCA 2020).
+
+These attacks never evict the victim's line before the victim uses it, so the
+victim never misses — they leak through the *replacement state* instead of the
+tag state.  The paper uses the LRU address-based channel as the real-machine
+baseline that StealthyStreamline is compared against (Table X, Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.covert import SimulatedCovertChannel
+from repro.attacks.sequences import AttackCategory, AttackSequence, access, guess, trigger
+from repro.env.config import EnvConfig
+
+
+class LRUAddressBasedChannel(SimulatedCovertChannel):
+    """One-bit-per-symbol LRU address-based covert channel.
+
+    Protocol for a W-way set sharing address 0 between sender and receiver:
+
+    1. receiver accesses 0, then W-1 filler lines (0 becomes the LRU line);
+    2. sender accesses 0 to transmit "1" (promoting it) or stays idle for "0";
+    3. receiver accesses one new line, evicting the LRU line — which is 0
+       exactly when the sender stayed idle;
+    4. receiver reloads 0 and measures: a hit decodes "1", a miss "0".
+
+    The sender's access (when it happens) always hits, so the channel is
+    invisible to miss-count detection.
+    """
+
+    name = "lru_address_based"
+    bits_per_symbol = 1
+
+    def __init__(self, num_ways: int = 8, rep_policy: str = "lru", seed: int = 0):
+        super().__init__(num_ways=num_ways, rep_policy=rep_policy, seed=seed)
+        self.shared_address = 0
+        self.filler_addresses = list(range(1, num_ways))
+        self.evict_address = num_ways
+
+    def prepare(self) -> None:
+        self._receiver_access(self.shared_address)
+        for address in self.filler_addresses:
+            self._receiver_access(address)
+
+    def send_and_receive_symbol(self, value: int) -> int:
+        # Re-establish the age order: shared line oldest, fillers newer.
+        self._receiver_access(self.shared_address)
+        for address in self.filler_addresses:
+            self._receiver_access(address)
+        if value & 1:
+            self._sender_access(self.shared_address)
+        self._receiver_access(self.evict_address)
+        hit = self._receiver_access(self.shared_address, measure=True)
+        return 1 if hit else 0
+
+
+def lru_address_based_sequence(config: EnvConfig, shared_address: int = 0) -> AttackSequence:
+    """LRU address-based attack as a guessing-game action sequence (1-bit secret)."""
+    fillers = [address for address in config.attacker_addresses if address != shared_address]
+    if shared_address not in config.attacker_addresses:
+        raise ValueError("the shared address must be attacker-accessible")
+    evict_with = fillers[-1] if fillers else shared_address
+    actions = [access(shared_address)]
+    actions.extend(access(address) for address in fillers[:-1])
+    actions.append(trigger())
+    actions.append(access(evict_with))
+    actions.append(access(shared_address))
+    return AttackSequence(actions=actions, category=AttackCategory.LRU_STATE,
+                          name="LRU address-based",
+                          description="leak via replacement state without evicting the victim line")
+
+
+def lru_set_based_sequence(config: EnvConfig) -> AttackSequence:
+    """LRU set-based attack: detect whether the victim touched the monitored set.
+
+    The receiver fills the set minus one way, lets the victim run, then brings
+    in a new line and checks which of its own lines survived.
+    """
+    attacker = config.attacker_addresses
+    if len(attacker) < 2:
+        raise ValueError("LRU set-based attack needs at least two attacker addresses")
+    prime = attacker[:-1]
+    new_line = attacker[-1]
+    actions = [access(address) for address in prime]
+    actions.append(trigger())
+    actions.append(access(new_line))
+    actions.append(access(prime[0]))
+    return AttackSequence(actions=actions, category=AttackCategory.LRU_STATE,
+                          name="LRU set-based",
+                          description="observe replacement-state perturbation of the whole set")

@@ -1,0 +1,116 @@
+"""Scripted (non-RL) attackers used as the "textbook" rows of Tables VIII and IX.
+
+The textbook prime+probe attacker always executes the full for-loop attack:
+prime every attacker line, trigger the victim, probe every attacker line, then
+guess from the missing probe — even when an early probe already reveals the
+answer.  Its periodic structure is exactly what CC-Hunter and Cyclone detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.detection.autocorrelation import AutocorrelationDetector
+from repro.env.actions import Action, ActionKind
+from repro.env.covert_env import MultiGuessCovertEnv
+
+
+class TextbookPrimeProbeAttacker:
+    """Fixed-loop prime+probe attacker for a direct-mapped cache covert channel."""
+
+    def __init__(self, env: MultiGuessCovertEnv):
+        self.env = env
+        config = env.config
+        self.attacker_addresses = config.attacker_addresses
+        self.victim_addresses = config.victim_addresses
+        self.num_sets = config.cache.num_sets
+        self.reset()
+
+    def reset(self) -> None:
+        self._plan: List[int] = []
+        self._probe_results: Dict[int, bool] = {}
+        self._phase = "prime"
+
+    # ------------------------------------------------------------------ plan
+    def _encode(self, action: Action) -> int:
+        return self.env.actions.encode(action)
+
+    def _build_round(self) -> List[int]:
+        plan = [self._encode(Action(ActionKind.ACCESS, address))
+                for address in self.attacker_addresses]
+        plan.append(self._encode(Action(ActionKind.TRIGGER)))
+        plan.extend(self._encode(Action(ActionKind.ACCESS, address))
+                    for address in self.attacker_addresses)
+        return plan
+
+    def _guess_from_probes(self) -> int:
+        missed = [address for address, hit in self._probe_results.items() if not hit]
+        if missed:
+            target_set = missed[0] % self.num_sets
+            for victim_address in self.victim_addresses:
+                if victim_address % self.num_sets == target_set:
+                    return self._encode(Action(ActionKind.GUESS, victim_address))
+        if self.env.config.victim_no_access_enable:
+            return self._encode(Action(ActionKind.GUESS_EMPTY))
+        return self._encode(Action(ActionKind.GUESS, self.victim_addresses[0]))
+
+    # ------------------------------------------------------------------- act
+    def act(self, last_info: Optional[Dict]) -> int:
+        """Choose the next action index given the info dict of the previous step."""
+        if last_info is not None:
+            action = last_info.get("action")
+            if (action is not None and action.kind is ActionKind.ACCESS
+                    and self._phase == "probe"):
+                self._probe_results[action.address] = bool(last_info.get("hit"))
+            if action is not None and action.is_guess:
+                self.reset()
+        if not self._plan:
+            if self._phase == "prime":
+                self._plan = self._build_round()
+                self._probe_results = {}
+                self._phase = "probe"
+            else:
+                self._phase = "prime"
+                return self._guess_from_probes()
+        next_action = self._plan.pop(0)
+        if not self._plan and self._phase == "probe":
+            # After the last probe executes we will guess on the next call.
+            pass
+        return next_action
+
+
+def run_scripted_attacker(env: MultiGuessCovertEnv, attacker, episodes: int = 3,
+                          autocorrelation_detector: Optional[AutocorrelationDetector] = None) -> Dict:
+    """Run a scripted attacker for full episodes and aggregate channel statistics."""
+    detector = autocorrelation_detector or AutocorrelationDetector()
+    bit_rates: List[float] = []
+    accuracies: List[float] = []
+    max_autocorrelations: List[float] = []
+    traces = []
+    for _ in range(episodes):
+        env.reset()
+        attacker.reset()
+        last_info: Optional[Dict] = None
+        done = False
+        while not done:
+            action_index = attacker.act(last_info)
+            _observation, _reward, done, info = env.step(action_index)
+            last_info = info
+        statistics = env.episode_statistics()
+        bit_rates.append(statistics["bit_rate"])
+        accuracies.append(statistics["guess_accuracy"])
+        events = env.backend.events
+        train = events.conflict_train() if events is not None else []
+        max_autocorrelations.append(detector.max_autocorrelation(train))
+        traces.append([(entry.actor, entry.address) for entry in env.trace
+                       if entry.kind == "access" and entry.address is not None])
+    return {
+        "bit_rate": float(np.mean(bit_rates)),
+        "guess_accuracy": float(np.mean(accuracies)),
+        "max_autocorrelation": float(np.mean(max_autocorrelations)),
+        "traces": traces,
+        "episodes": episodes,
+    }

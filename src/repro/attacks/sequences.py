@@ -1,0 +1,94 @@
+"""Attack-sequence representation shared by the textbook attacks and the classifier."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.env.actions import Action, ActionKind, ActionSpace
+
+
+class AttackCategory(enum.Enum):
+    """Known attack categories (Table I plus the LRU-state attacks)."""
+
+    PRIME_PROBE = "prime+probe"
+    FLUSH_RELOAD = "flush+reload"
+    EVICT_RELOAD = "evict+reload"
+    EVICT_TIME = "evict+time"
+    LRU_STATE = "lru"
+    STREAMLINE = "streamline"
+    STEALTHY_STREAMLINE = "stealthy_streamline"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class AttackSequence:
+    """A sequence of semantic actions, optionally tagged with its category."""
+
+    actions: List[Action]
+    category: AttackCategory = AttackCategory.UNKNOWN
+    name: str = ""
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def render(self) -> str:
+        """Arrow notation used throughout the paper (e.g. "7 -> 4 -> v -> g")."""
+        return " -> ".join(str(action) for action in self.actions)
+
+    def to_indices(self, action_space: ActionSpace) -> List[int]:
+        """Encode the semantic actions into indices of a concrete action space."""
+        return [action_space.encode(action) for action in self.actions]
+
+    @property
+    def uses_flush(self) -> bool:
+        return any(action.kind is ActionKind.FLUSH for action in self.actions)
+
+    @property
+    def trigger_count(self) -> int:
+        return sum(1 for action in self.actions if action.kind is ActionKind.TRIGGER)
+
+    @property
+    def accessed_addresses(self) -> List[int]:
+        return [action.address for action in self.actions
+                if action.kind is ActionKind.ACCESS and action.address is not None]
+
+    @classmethod
+    def from_labels(cls, labels: Sequence[str], name: str = "",
+                    category: AttackCategory = AttackCategory.UNKNOWN) -> "AttackSequence":
+        """Parse the paper's compact notation: "3", "f2", "v", "g4", "gE"."""
+        actions: List[Action] = []
+        for label in labels:
+            label = label.strip()
+            if label == "v":
+                actions.append(Action(ActionKind.TRIGGER))
+            elif label == "gE":
+                actions.append(Action(ActionKind.GUESS_EMPTY))
+            elif label.startswith("g"):
+                address = label[1:]
+                actions.append(Action(ActionKind.GUESS, int(address) if address else None))
+            elif label.startswith("f"):
+                actions.append(Action(ActionKind.FLUSH, int(label[1:])))
+            else:
+                actions.append(Action(ActionKind.ACCESS, int(label)))
+        return cls(actions=actions, name=name, category=category)
+
+
+def access(address: int) -> Action:
+    return Action(ActionKind.ACCESS, address)
+
+
+def flush(address: int) -> Action:
+    return Action(ActionKind.FLUSH, address)
+
+
+def trigger() -> Action:
+    return Action(ActionKind.TRIGGER)
+
+
+def guess(address: Optional[int] = None) -> Action:
+    if address is None:
+        return Action(ActionKind.GUESS_EMPTY)
+    return Action(ActionKind.GUESS, address)

@@ -1,0 +1,90 @@
+"""StealthyStreamline: the new attack discovered by AutoCAT (Sec. V-D / Fig. 4).
+
+StealthyStreamline combines the LRU-state attacks (which never make the victim
+miss, so they bypass miss-count detection) with Streamline-style overlapping
+of steps for multiple bits, yielding a stealthy channel with a higher bit rate
+than the LRU address-based baseline.
+
+On the simulator the 2-bit variant works as follows for a W-way set (W >= 8)
+with true/pseudo LRU replacement:
+
+1. the receiver primes victim lines 0-3 and filler lines 4..W-1 in order, so
+   the victim lines are the oldest and their relative ages are known;
+2. the sender accesses line ``s`` (the 2-bit symbol) — a *hit*, since the line
+   was just primed, so the victim/sender never misses;
+3. the receiver accesses three fresh lines, evicting the three oldest lines —
+   exactly the victim lines other than ``s``;
+4. the receiver reloads lines 0-3 and measures each: the single hit identifies
+   ``s`` (the refills evict filler lines, never ``s``, because ``s`` was
+   promoted above the fillers in step 2).
+
+Only the four reload accesses need to be timed, which is where the real-machine
+bit-rate advantage over the LRU address-based channel comes from.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.covert import SimulatedCovertChannel
+from repro.attacks.sequences import AttackCategory, AttackSequence, access, guess, trigger
+from repro.env.config import EnvConfig
+
+
+class StealthyStreamlineChannel(SimulatedCovertChannel):
+    """Two-bit-per-symbol stealthy covert channel over replacement state."""
+
+    name = "stealthy_streamline"
+    bits_per_symbol = 2
+
+    def __init__(self, num_ways: int = 8, rep_policy: str = "lru", seed: int = 0):
+        if num_ways < 8:
+            raise ValueError("the 2-bit StealthyStreamline channel needs at least 8 ways")
+        super().__init__(num_ways=num_ways, rep_policy=rep_policy, seed=seed)
+        self.victim_lines = [0, 1, 2, 3]
+        self.filler_lines = list(range(4, num_ways))
+        self.evict_lines = [num_ways, num_ways + 1, num_ways + 2]
+
+    def prepare(self) -> None:
+        for address in self.victim_lines + self.filler_lines:
+            self._receiver_access(address)
+
+    def send_and_receive_symbol(self, value: int) -> int:
+        # 1. Re-prime so the victim lines are the oldest, in known order.
+        for address in self.victim_lines + self.filler_lines:
+            self._receiver_access(address)
+        # 2. The sender encodes the symbol by touching one victim line (a hit).
+        self._sender_access(self.victim_lines[value % 4])
+        # 3. Three fresh lines evict the three untouched victim lines.
+        for address in self.evict_lines:
+            self._receiver_access(address)
+        # 4. Reload and measure the victim lines; the surviving one is the symbol.
+        decoded = 0
+        for position, address in enumerate(self.victim_lines):
+            if self._receiver_access(address, measure=True):
+                decoded = position
+        return decoded
+
+
+def stealthy_streamline_sequence(config: EnvConfig) -> AttackSequence:
+    """StealthyStreamline as a guessing-game action sequence for a 4-way set.
+
+    This is the Figure 4(b)-style sequence: prime the victim-reachable lines,
+    trigger the victim, bring in a fresh line, and reload — the reload that
+    hits identifies the victim's access, and the victim itself never misses.
+    """
+    attacker = config.attacker_addresses
+    victim = config.victim_addresses
+    shared = [address for address in victim if address in attacker]
+    if not shared:
+        raise ValueError("StealthyStreamline needs the victim lines to be attacker-reachable")
+    fresh = [address for address in attacker if address not in shared]
+    if not fresh:
+        raise ValueError("StealthyStreamline needs at least one attacker-only line")
+    actions = [access(address) for address in shared]
+    actions.append(trigger())
+    actions.extend(access(address) for address in fresh[: max(1, len(shared) - 1)])
+    actions.extend(access(address) for address in shared)
+    return AttackSequence(actions=actions, category=AttackCategory.STEALTHY_STREAMLINE,
+                          name="StealthyStreamline",
+                          description="stealthy replacement-state attack with overlapped bits")

@@ -1,0 +1,48 @@
+"""Streamline-style overlapped flush+reload covert channel (Saileshwar et al., 2021).
+
+Streamline achieves a high bit rate by overlapping the steps of consecutive
+symbols, but — unlike the LRU-state attacks and StealthyStreamline — the
+sender's secret-dependent access *misses* (the receiver evicted/flushed the
+line first), so a performance-counter detector watching the victim's miss rate
+sees it immediately.  This channel is the non-stealthy, high-rate reference
+point in the Figure-4 comparison.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.covert import SimulatedCovertChannel
+
+
+class StreamlineChannel(SimulatedCovertChannel):
+    """Two-bit-per-symbol flush-based channel: fast but causes sender misses."""
+
+    name = "streamline"
+    bits_per_symbol = 2
+
+    def __init__(self, num_ways: int = 8, rep_policy: str = "lru", seed: int = 0,
+                 use_flush: bool = True):
+        super().__init__(num_ways=num_ways, rep_policy=rep_policy, seed=seed)
+        self.victim_lines = [0, 1, 2, 3]
+        self.use_flush = use_flush
+        self.evict_lines = list(range(4, 4 + num_ways))
+
+    def prepare(self) -> None:
+        for address in self.victim_lines:
+            self._receiver_flush(address) if self.use_flush else self._receiver_access(address)
+
+    def send_and_receive_symbol(self, value: int) -> int:
+        # 1. Remove every victim line (flush, or eviction when flush is unavailable).
+        if self.use_flush:
+            for address in self.victim_lines:
+                self._receiver_flush(address)
+        else:
+            for address in self.evict_lines:
+                self._receiver_access(address)
+        # 2. The sender touches the line encoding the symbol — necessarily a miss.
+        self._sender_access(self.victim_lines[value % 4])
+        # 3. The receiver reloads each victim line; the hit identifies the symbol.
+        decoded = 0
+        for position, address in enumerate(self.victim_lines):
+            if self._receiver_access(address, measure=True):
+                decoded = position
+        return decoded

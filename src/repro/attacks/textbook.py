@@ -1,0 +1,84 @@
+"""Textbook attack-sequence generators (Table I categories).
+
+These produce the "for-loop" versions of the known attacks that the paper
+compares against: prime the whole set / flush every shared line, trigger the
+victim, probe everything.  The RL agent typically finds shorter sequences
+(Sec. V-B), which is part of what Table IV demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.attacks.sequences import AttackCategory, AttackSequence, access, flush, trigger
+from repro.env.config import EnvConfig
+
+
+def prime_probe_sequence(config: EnvConfig) -> AttackSequence:
+    """Prime+probe: fill the cache with attacker lines, trigger, re-access them.
+
+    Requires no shared addresses and no flush; observation is which probe
+    misses (the victim's access evicted it).
+    """
+    attacker = config.attacker_addresses
+    actions = [access(address) for address in attacker]
+    actions.append(trigger())
+    actions.extend(access(address) for address in attacker)
+    return AttackSequence(actions=actions, category=AttackCategory.PRIME_PROBE,
+                          name="textbook prime+probe",
+                          description="prime all attacker lines, trigger victim, probe all")
+
+
+def flush_reload_sequence(config: EnvConfig) -> AttackSequence:
+    """Flush+reload: flush every shared line, trigger, reload and time each.
+
+    Requires shared addresses and the flush instruction.
+    """
+    shared = config.shared_addresses
+    if not shared:
+        raise ValueError("flush+reload requires shared victim/attacker addresses")
+    if not config.flush_enable:
+        raise ValueError("flush+reload requires flush_enable")
+    actions = [flush(address) for address in shared]
+    actions.append(trigger())
+    actions.extend(access(address) for address in shared)
+    return AttackSequence(actions=actions, category=AttackCategory.FLUSH_RELOAD,
+                          name="textbook flush+reload",
+                          description="flush shared lines, trigger victim, reload all")
+
+
+def evict_reload_sequence(config: EnvConfig, eviction_addresses: Optional[List[int]] = None) -> AttackSequence:
+    """Evict+reload: evict the shared lines by filling the cache, trigger, reload.
+
+    Requires shared addresses; eviction is done with attacker-only addresses
+    (those not shared with the victim) or an explicit eviction set.
+    """
+    shared = config.shared_addresses
+    if not shared:
+        raise ValueError("evict+reload requires shared victim/attacker addresses")
+    if eviction_addresses is None:
+        eviction_addresses = [address for address in config.attacker_addresses
+                              if address not in shared]
+    if not eviction_addresses:
+        raise ValueError("evict+reload requires attacker-only addresses to evict with")
+    actions = [access(address) for address in eviction_addresses]
+    actions.append(trigger())
+    actions.extend(access(address) for address in shared)
+    return AttackSequence(actions=actions, category=AttackCategory.EVICT_RELOAD,
+                          name="textbook evict+reload",
+                          description="evict shared lines by filling, trigger victim, reload")
+
+
+def textbook_attack_for_config(config: EnvConfig) -> AttackSequence:
+    """Pick the canonical textbook attack feasible under ``config``.
+
+    Preference order mirrors the paper's "expected attacks" column: use
+    flush+reload when flush and sharing are available, evict+reload when only
+    sharing is available, and prime+probe otherwise.
+    """
+    shared = config.shared_addresses
+    if shared and config.flush_enable:
+        return flush_reload_sequence(config)
+    if shared and len(config.attacker_addresses) > len(shared):
+        return evict_reload_sequence(config)
+    return prime_probe_sequence(config)

@@ -1,0 +1,24 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the numerical substrate of the reproduction: the paper
+trains its PPO agent with PyTorch, which is not available in this offline
+environment, so we provide a small but complete autodiff engine with the same
+semantics (tensors, gradient tape, optimizers, gradient checking).
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff import functional
+from repro.autodiff.optim import SGD, Adam, Optimizer
+from repro.autodiff.gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "numerical_gradient",
+    "check_gradients",
+]

@@ -1,0 +1,71 @@
+"""Functional helpers built on :class:`repro.autodiff.Tensor`.
+
+These are the numerically-stable composite operations the RL engine needs:
+softmax, log-softmax, cross entropy, categorical entropy, and the usual loss
+helpers.  Each works on a trailing "class" dimension so policies over discrete
+action spaces can use them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+ArrayLike = Union[np.ndarray, float, int]
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def gather_log_prob(log_probs: Tensor, actions: np.ndarray) -> Tensor:
+    """Select the log-probability of each taken action.
+
+    ``log_probs`` has shape (batch, num_actions); ``actions`` is an int array
+    of shape (batch,).  Returns a tensor of shape (batch,).
+    """
+    actions = np.asarray(actions, dtype=np.int64)
+    batch_index = np.arange(log_probs.shape[0])
+    return log_probs[(batch_index, actions)]
+
+
+def categorical_entropy(logits: Tensor, axis: int = -1) -> Tensor:
+    """Entropy of the categorical distribution defined by ``logits``."""
+    log_p = log_softmax(logits, axis=axis)
+    p = log_p.exp()
+    return -(p * log_p).sum(axis=axis)
+
+
+def mse_loss(prediction: Tensor, target: ArrayLike) -> Tensor:
+    """Mean squared error between prediction and a constant target."""
+    target_tensor = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_tensor.detach()
+    return (diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target: ArrayLike, delta: float = 1.0) -> Tensor:
+    """Huber (smooth-L1) loss, useful for value-function regression."""
+    target_tensor = target if isinstance(target, Tensor) else Tensor(target)
+    diff = (prediction - target_tensor.detach()).abs()
+    quadratic = diff.minimum(Tensor(delta))
+    linear = diff - quadratic
+    return (quadratic * quadratic * 0.5 + linear * delta).mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of integer ``targets`` under ``logits``."""
+    log_p = log_softmax(logits)
+    picked = gather_log_prob(log_p, targets)
+    return -(picked.mean())

@@ -1,0 +1,57 @@
+"""Finite-difference gradient checking for the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def numerical_gradient(function: Callable[[], Tensor], parameter: Tensor,
+                       epsilon: float = 1e-6) -> np.ndarray:
+    """Estimate d function / d parameter with central finite differences.
+
+    ``function`` must return a scalar Tensor and must read ``parameter.data``
+    each time it is called (i.e. rebuild its graph from the current values).
+    """
+    gradient = np.zeros_like(parameter.data)
+    flat_param = parameter.data.reshape(-1)
+    flat_grad = gradient.reshape(-1)
+    for index in range(flat_param.size):
+        original = flat_param[index]
+        flat_param[index] = original + epsilon
+        upper = function().item()
+        flat_param[index] = original - epsilon
+        lower = function().item()
+        flat_param[index] = original
+        flat_grad[index] = (upper - lower) / (2.0 * epsilon)
+    return gradient
+
+
+def check_gradients(function: Callable[[], Tensor], parameters: Sequence[Tensor],
+                    epsilon: float = 1e-6, tolerance: float = 1e-4) -> bool:
+    """Compare analytic and numerical gradients for every parameter.
+
+    Returns True when every parameter's analytic gradient is within
+    ``tolerance`` (relative, with absolute floor) of the finite-difference
+    estimate, and raises ``AssertionError`` otherwise so test failures show
+    which parameter disagreed.
+    """
+    for parameter in parameters:
+        parameter.grad = None
+    loss = function()
+    loss.backward()
+    for position, parameter in enumerate(parameters):
+        analytic = parameter.grad if parameter.grad is not None else np.zeros_like(parameter.data)
+        numeric = numerical_gradient(function, parameter, epsilon=epsilon)
+        denominator = np.maximum(np.abs(analytic) + np.abs(numeric), 1e-8)
+        relative_error = np.abs(analytic - numeric) / denominator
+        worst = float(relative_error.max()) if relative_error.size else 0.0
+        if worst > tolerance and float(np.abs(analytic - numeric).max()) > tolerance:
+            raise AssertionError(
+                f"gradient mismatch for parameter #{position}: "
+                f"max relative error {worst:.3e}"
+            )
+    return True

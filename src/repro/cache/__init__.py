@@ -1,0 +1,54 @@
+"""Cache simulator substrate.
+
+Implements the software cache model that the AutoCAT RL environment runs
+against: single-level caches (direct-mapped, set-associative, fully
+associative), the replacement policies studied in the paper (LRU, PLRU, RRIP,
+random), next-line and stream prefetchers, fixed-random set mappings, a
+partition-locked (PL) cache defense, a two-level hierarchy, and the event
+hooks used by the detection schemes (conflict-miss trains for CC-Hunter and
+cyclic-interference counts for Cyclone).
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.block import CacheBlock
+from repro.cache.cache import AccessResult, Cache
+from repro.cache.policies import (
+    ReplacementPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RRIPPolicy,
+    RandomPolicy,
+    MRUPolicy,
+    make_policy,
+    REPLACEMENT_POLICIES,
+)
+from repro.cache.prefetcher import NextLinePrefetcher, StreamPrefetcher, make_prefetcher
+from repro.cache.mapping import ModuloMapping, RandomPermutationMapping, make_mapping
+from repro.cache.plcache import PLCache
+from repro.cache.hierarchy import TwoLevelCache
+from repro.cache.events import ConflictEvent, EventLog
+
+__all__ = [
+    "CacheConfig",
+    "CacheBlock",
+    "Cache",
+    "AccessResult",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "PLRUPolicy",
+    "RRIPPolicy",
+    "RandomPolicy",
+    "MRUPolicy",
+    "make_policy",
+    "REPLACEMENT_POLICIES",
+    "NextLinePrefetcher",
+    "StreamPrefetcher",
+    "make_prefetcher",
+    "ModuloMapping",
+    "RandomPermutationMapping",
+    "make_mapping",
+    "PLCache",
+    "TwoLevelCache",
+    "ConflictEvent",
+    "EventLog",
+]

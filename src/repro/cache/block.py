@@ -1,0 +1,41 @@
+"""Cache block (line) metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CacheBlock:
+    """One cache line: tag plus the metadata the simulator tracks.
+
+    ``domain`` records which security domain (e.g. ``"attacker"`` or
+    ``"victim"``) installed the line; the detection schemes (CC-Hunter,
+    Cyclone) consume it.
+    """
+
+    valid: bool = False
+    tag: Optional[int] = None
+    domain: Optional[str] = None
+    locked: bool = False
+    dirty: bool = False
+    address: Optional[int] = None
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.tag = None
+        self.domain = None
+        self.locked = False
+        self.dirty = False
+        self.address = None
+
+    def fill(self, tag: int, address: int, domain: Optional[str]) -> None:
+        self.valid = True
+        self.tag = tag
+        self.address = address
+        self.domain = domain
+        self.dirty = False
+
+    def matches(self, tag: int) -> bool:
+        return self.valid and self.tag == tag

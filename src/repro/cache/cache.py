@@ -1,0 +1,200 @@
+"""The single-level cache model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.block import CacheBlock
+from repro.cache.config import CacheConfig
+from repro.cache.events import EventLog
+from repro.cache.mapping import make_mapping
+from repro.cache.policies import make_policy
+from repro.cache.prefetcher import make_prefetcher
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    address: int
+    hit: bool
+    latency: int
+    set_index: int
+    way: int
+    evicted_address: Optional[int] = None
+    evicted_domain: Optional[str] = None
+    prefetched: List[int] = field(default_factory=list)
+    domain: Optional[str] = None
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+class Cache:
+    """A set-associative cache with pluggable replacement policy and prefetcher.
+
+    Addresses are cache-line addresses (small integers), matching the paper's
+    guessing-game formulation.  The cache records conflict events and cyclic
+    interference in an :class:`EventLog` so detectors can observe it.
+    """
+
+    def __init__(self, config: CacheConfig, rng: Optional[np.random.Generator] = None):
+        self.config = config
+        self.rng = rng or np.random.default_rng(config.rng_seed)
+        self.mapping = make_mapping(config.mapping, config.num_sets, seed=config.mapping_seed)
+        self.sets: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(config.num_ways)] for _ in range(config.num_sets)
+        ]
+        self.policies = [make_policy(config.rep_policy, config.num_ways, rng=self.rng)
+                         for _ in range(config.num_sets)]
+        self.prefetcher = make_prefetcher(config.prefetcher)
+        self.events = EventLog()
+        self.access_count = 0
+        self.miss_count = 0
+
+    # ----------------------------------------------------------------- state
+    def reset(self) -> None:
+        """Empty the cache and clear all replacement / event state."""
+        for cache_set in self.sets:
+            for block in cache_set:
+                block.invalidate()
+        for policy in self.policies:
+            policy.reset()
+        if self.prefetcher is not None:
+            self.prefetcher.reset()
+        self.events.reset()
+        self.access_count = 0
+        self.miss_count = 0
+
+    def locate(self, address: int) -> tuple:
+        """Return (set_index, tag) for ``address``."""
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        return self.mapping.locate(address)
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Return the way holding ``address`` or None, without side effects."""
+        set_index, tag = self.locate(address)
+        for way, block in enumerate(self.sets[set_index]):
+            if block.matches(tag):
+                return way
+        return None
+
+    def contains(self, address: int) -> bool:
+        return self.lookup(address) is not None
+
+    def contents(self) -> List[int]:
+        """All valid line addresses currently resident (sorted)."""
+        resident = []
+        for cache_set in self.sets:
+            for block in cache_set:
+                if block.valid and block.address is not None:
+                    resident.append(block.address)
+        return sorted(resident)
+
+    def locked_ways(self, set_index: int) -> frozenset:
+        return frozenset(way for way, block in enumerate(self.sets[set_index])
+                         if block.valid and block.locked)
+
+    # ---------------------------------------------------------------- access
+    def access(self, address: int, domain: Optional[str] = None,
+               write: bool = False, _prefetch: bool = False) -> AccessResult:
+        """Perform one memory access; return hit/miss, latency, and eviction info."""
+        set_index, tag = self.locate(address)
+        cache_set = self.sets[set_index]
+        policy = self.policies[set_index]
+        self.access_count += 1
+
+        way = None
+        for candidate, block in enumerate(cache_set):
+            if block.matches(tag):
+                way = candidate
+                break
+
+        evicted_address = None
+        evicted_domain = None
+        if way is not None:
+            hit = True
+            policy.on_hit(way)
+            if write:
+                cache_set[way].dirty = True
+            latency = self.config.hit_latency
+        else:
+            hit = False
+            self.miss_count += 1
+            valid_flags = [block.valid for block in cache_set]
+            way = policy.victim(valid_flags, self.locked_ways(set_index))
+            victim_block = cache_set[way]
+            if victim_block.valid:
+                evicted_address = victim_block.address
+                evicted_domain = victim_block.domain
+            victim_block.fill(tag, address, domain)
+            if write:
+                victim_block.dirty = True
+            policy.on_fill(way)
+            latency = self.config.miss_latency
+
+        self.events.record_access(domain, hit, set_index, way, evicted_domain)
+
+        prefetched: List[int] = []
+        if self.prefetcher is not None and not _prefetch:
+            for prefetch_address in self.prefetcher.prefetch_targets(address, hit):
+                if prefetch_address < 0:
+                    continue
+                self.access(prefetch_address, domain=domain, _prefetch=True)
+                prefetched.append(prefetch_address)
+
+        return AccessResult(address=address, hit=hit, latency=latency,
+                            set_index=set_index, way=way,
+                            evicted_address=evicted_address,
+                            evicted_domain=evicted_domain,
+                            prefetched=prefetched, domain=domain)
+
+    def flush(self, address: int, domain: Optional[str] = None) -> bool:
+        """clflush: invalidate ``address`` if present.  Returns whether it was resident."""
+        set_index, tag = self.locate(address)
+        for block in self.sets[set_index]:
+            if block.matches(tag):
+                block.invalidate()
+                return True
+        return False
+
+    # ------------------------------------------------------------------ locks
+    def lock(self, address: int, domain: Optional[str] = None) -> None:
+        """PL-cache lock: install (if needed) and pin ``address`` in its set."""
+        if not self.config.lockable:
+            raise RuntimeError("this cache configuration does not support locking")
+        way = self.lookup(address)
+        if way is None:
+            result = self.access(address, domain=domain)
+            way = result.way
+        set_index, _ = self.locate(address)
+        self.sets[set_index][way].locked = True
+
+    def unlock(self, address: int) -> None:
+        if not self.config.lockable:
+            raise RuntimeError("this cache configuration does not support locking")
+        way = self.lookup(address)
+        if way is not None:
+            set_index, _ = self.locate(address)
+            self.sets[set_index][way].locked = False
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def hit_rate(self) -> float:
+        if self.access_count == 0:
+            return 0.0
+        return 1.0 - self.miss_count / self.access_count
+
+    def replacement_state(self, set_index: int = 0) -> tuple:
+        """Snapshot of the replacement state for one set (used in analysis)."""
+        return self.policies[set_index].state_snapshot()
+
+    def warm_up(self, addresses, domain: Optional[str] = None) -> None:
+        """Pre-fill the cache by accessing ``addresses`` in order."""
+        for address in addresses:
+            self.access(address, domain=domain)

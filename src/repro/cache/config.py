@@ -1,0 +1,63 @@
+"""Cache configuration (Table II of the paper, cache-simulator options)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CacheConfig:
+    """Configuration of a single cache level.
+
+    Addresses are cache-line addresses (block granularity), matching the
+    paper's formulation where attacker/victim address ranges are small
+    integers.  ``num_blocks = num_sets * num_ways``.
+    """
+
+    num_sets: int = 1
+    num_ways: int = 4
+    rep_policy: str = "lru"
+    prefetcher: Optional[str] = None
+    mapping: str = "modulo"
+    mapping_seed: int = 0
+    hit_latency: int = 4
+    miss_latency: int = 40
+    lockable: bool = False
+    rng_seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 1:
+            raise ValueError("num_sets must be >= 1")
+        if self.num_ways < 1:
+            raise ValueError("num_ways must be >= 1")
+        if self.hit_latency >= self.miss_latency:
+            raise ValueError("hit_latency must be smaller than miss_latency")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.num_sets * self.num_ways
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.num_ways == 1
+
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.num_sets == 1
+
+    @classmethod
+    def direct_mapped(cls, num_sets: int, **kwargs) -> "CacheConfig":
+        """Direct-mapped cache with ``num_sets`` one-way sets."""
+        return cls(num_sets=num_sets, num_ways=1, **kwargs)
+
+    @classmethod
+    def fully_associative(cls, num_ways: int, **kwargs) -> "CacheConfig":
+        """Fully-associative cache (a single set with ``num_ways`` ways)."""
+        return cls(num_sets=1, num_ways=num_ways, **kwargs)
+
+    @classmethod
+    def set_associative(cls, num_sets: int, num_ways: int, **kwargs) -> "CacheConfig":
+        """General set-associative cache."""
+        return cls(num_sets=num_sets, num_ways=num_ways, **kwargs)

@@ -1,0 +1,91 @@
+"""Event logging for detection schemes.
+
+CC-Hunter consumes a *conflict-miss event train*: events where the victim
+evicts an attacker line (V->A, encoded 0) or the attacker evicts a victim line
+(A->V, encoded 1).  Cyclone consumes per-line *cyclic interference* counts
+(domain a touches a line, domain b evicts/touches it, then a returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ConflictEvent:
+    """One inter-domain conflict: ``evictor`` replaced a line owned by ``owner``."""
+
+    evictor: str
+    owner: str
+    address: int
+    set_index: int
+    step: int
+
+    @property
+    def code(self) -> int:
+        """CC-Hunter encoding: 1 for attacker-evicts-victim, 0 for victim-evicts-attacker."""
+        return 1 if self.evictor == "attacker" else 0
+
+
+@dataclass
+class EventLog:
+    """Accumulates detection-relevant events during a cache run."""
+
+    conflicts: List[ConflictEvent] = field(default_factory=list)
+    victim_misses: int = 0
+    attacker_misses: int = 0
+    total_accesses: int = 0
+    _line_history: Dict[Tuple[int, int], List[str]] = field(default_factory=dict)
+    cyclic_interference: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    _step: int = 0
+
+    def reset(self) -> None:
+        self.conflicts.clear()
+        self.victim_misses = 0
+        self.attacker_misses = 0
+        self.total_accesses = 0
+        self._line_history.clear()
+        self.cyclic_interference.clear()
+        self._step = 0
+
+    def record_access(self, domain: Optional[str], hit: bool,
+                      set_index: int, way: int,
+                      evicted_domain: Optional[str]) -> None:
+        """Record one cache access and any inter-domain conflict it caused."""
+        self._step += 1
+        self.total_accesses += 1
+        if not hit:
+            if domain == "victim":
+                self.victim_misses += 1
+            elif domain == "attacker":
+                self.attacker_misses += 1
+        if (not hit and evicted_domain is not None and domain is not None
+                and evicted_domain != domain):
+            self.conflicts.append(ConflictEvent(
+                evictor=domain, owner=evicted_domain, address=-1,
+                set_index=set_index, step=self._step))
+        self._track_cyclic(domain, set_index, way)
+
+    def _track_cyclic(self, domain: Optional[str], set_index: int, way: int) -> None:
+        """Cyclone-style cyclic interference: a -> b -> a on the same line."""
+        if domain is None:
+            return
+        key = (set_index, way)
+        history = self._line_history.setdefault(key, [])
+        history.append(domain)
+        if len(history) >= 3 and history[-1] == history[-3] and history[-2] != history[-1]:
+            self.cyclic_interference[key] = self.cyclic_interference.get(key, 0) + 1
+        if len(history) > 8:
+            del history[:-4]
+
+    def conflict_train(self) -> List[int]:
+        """CC-Hunter event train: 1 = A evicts V, 0 = V evicts A."""
+        return [event.code for event in self.conflicts]
+
+    def cyclic_interference_counts(self) -> List[int]:
+        """Cyclone feature vector: cyclic-interference count per tracked line."""
+        return list(self.cyclic_interference.values())
+
+    def total_cyclic_interference(self) -> int:
+        return sum(self.cyclic_interference.values())

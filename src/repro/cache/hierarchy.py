@@ -1,0 +1,86 @@
+"""Two-level cache hierarchy: private L1 caches and a shared inclusive L2.
+
+Configurations 16 and 17 in Table IV place the attacker and victim on two
+cores, each with a private direct-mapped L1, sharing an inclusive L2.  The
+attack exploits contention in the shared L2: on an L2 eviction, inclusion
+forces the line out of whichever L1 holds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.cache import AccessResult, Cache
+from repro.cache.config import CacheConfig
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of a hierarchy access: which level hit and the total latency."""
+
+    address: int
+    l1_hit: bool
+    l2_hit: bool
+    latency: int
+    l2_result: Optional[AccessResult] = None
+
+    @property
+    def hit(self) -> bool:
+        """Treat an L1 hit as "fast"; everything else is observed as a miss."""
+        return self.l1_hit
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+class TwoLevelCache:
+    """Private per-core L1 caches in front of a shared inclusive L2."""
+
+    def __init__(self, l1_config: CacheConfig, l2_config: CacheConfig,
+                 cores: int = 2, rng: Optional[np.random.Generator] = None):
+        self.rng = rng or np.random.default_rng(l2_config.rng_seed)
+        self.cores = cores
+        self.l1_caches: Dict[int, Cache] = {
+            core: Cache(l1_config, rng=self.rng) for core in range(cores)
+        }
+        self.l2 = Cache(l2_config, rng=self.rng)
+        self.l1_config = l1_config
+        self.l2_config = l2_config
+
+    def reset(self) -> None:
+        for cache in self.l1_caches.values():
+            cache.reset()
+        self.l2.reset()
+
+    def access(self, address: int, core: int, domain: Optional[str] = None) -> HierarchyResult:
+        """Access ``address`` from ``core``; maintain inclusion on L2 evictions."""
+        if core not in self.l1_caches:
+            raise ValueError(f"unknown core {core}")
+        l1 = self.l1_caches[core]
+        l1_result = l1.access(address, domain=domain)
+        if l1_result.hit:
+            return HierarchyResult(address=address, l1_hit=True, l2_hit=True,
+                                   latency=self.l1_config.hit_latency)
+
+        l2_result = self.l2.access(address, domain=domain)
+        # Inclusive L2: if the L2 evicted a line, back-invalidate it in every L1.
+        if l2_result.evicted_address is not None:
+            for cache in self.l1_caches.values():
+                cache.flush(l2_result.evicted_address)
+        latency = self.l1_config.miss_latency if l2_result.hit else self.l2_config.miss_latency
+        return HierarchyResult(address=address, l1_hit=False, l2_hit=l2_result.hit,
+                               latency=latency, l2_result=l2_result)
+
+    def flush(self, address: int) -> None:
+        for cache in self.l1_caches.values():
+            cache.flush(address)
+        self.l2.flush(address)
+
+    def contains(self, address: int, level: str = "l2") -> bool:
+        if level == "l2":
+            return self.l2.contains(address)
+        return any(cache.contains(address) for cache in self.l1_caches.values())

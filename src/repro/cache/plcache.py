@@ -1,0 +1,61 @@
+"""Partition-locked (PL) cache defense (Wang & Lee, 2007).
+
+The PL cache lets the victim lock its own lines so that (1) the attacker can
+never evict them and (2) a victim access to a locked line never evicts an
+attacker line.  The paper (Sec. V-D) shows AutoCAT still finds an attack: the
+victim's access to its locked line updates the *replacement state*, which the
+attacker can observe through subsequent evictions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.cache.cache import AccessResult, Cache
+from repro.cache.config import CacheConfig
+
+
+class PLCache(Cache):
+    """Cache with partition locking.
+
+    Semantics implemented (following the original PL cache proposal):
+
+    * a locked line is never chosen as an eviction victim;
+    * an access that *hits* a locked line updates replacement state normally
+      (this is the leak the paper's PL-cache attack exploits);
+    * an access that *misses* and would need to evict, when every way is
+      locked, is served without caching (no eviction, miss latency).
+    """
+
+    def __init__(self, config: CacheConfig, rng: Optional[np.random.Generator] = None):
+        if not config.lockable:
+            config.lockable = True
+        super().__init__(config, rng=rng)
+
+    def access(self, address: int, domain: Optional[str] = None,
+               write: bool = False, _prefetch: bool = False) -> AccessResult:
+        set_index, tag = self.locate(address)
+        cache_set = self.sets[set_index]
+        locked = self.locked_ways(set_index)
+        resident_way = None
+        for way, block in enumerate(cache_set):
+            if block.matches(tag):
+                resident_way = way
+                break
+        all_locked = len(locked) == self.config.num_ways
+        if resident_way is None and all_locked:
+            # No unlocked way: serve the miss without allocating.
+            self.access_count += 1
+            self.miss_count += 1
+            self.events.record_access(domain, False, set_index, -1, None)
+            return AccessResult(address=address, hit=False,
+                                latency=self.config.miss_latency,
+                                set_index=set_index, way=-1, domain=domain)
+        return super().access(address, domain=domain, write=write, _prefetch=_prefetch)
+
+    def preload_locked(self, addresses: Iterable[int], domain: str = "victim") -> None:
+        """Install and lock the given victim lines (the defense's setup step)."""
+        for address in addresses:
+            self.lock(address, domain=domain)

@@ -1,0 +1,283 @@
+"""Replacement policies: LRU, tree-PLRU, RRIP, random, MRU.
+
+Each policy instance manages a single cache set of ``num_ways`` ways.  The
+cache calls ``on_fill`` when a line is installed, ``on_hit`` when a lookup
+hits, and ``victim`` to pick the way to evict; ``locked_ways`` lets the PL
+cache exclude locked lines from eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Type
+
+import numpy as np
+
+
+class ReplacementPolicy:
+    """Interface for per-set replacement state."""
+
+    name = "base"
+
+    def __init__(self, num_ways: int, rng: Optional[np.random.Generator] = None):
+        if num_ways < 1:
+            raise ValueError("num_ways must be >= 1")
+        self.num_ways = num_ways
+        self.rng = rng or np.random.default_rng()
+
+    def reset(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def on_fill(self, way: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def on_hit(self, way: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def victim(self, valid_ways: List[bool], locked_ways: FrozenSet[int] = frozenset()) -> int:
+        """Pick a way to fill.  Invalid ways are preferred; locked ways are skipped."""
+        for way in range(self.num_ways):
+            if not valid_ways[way] and way not in locked_ways:
+                return way
+        return self._select_victim(locked_ways)
+
+    def _select_victim(self, locked_ways: FrozenSet[int]) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_snapshot(self) -> tuple:
+        """Hashable snapshot of internal state (used by tests and the classifier)."""
+        return ()
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.num_ways:
+            raise IndexError(f"way {way} out of range for {self.num_ways}-way set")
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU: per-way age counters, age 0 is most recently used."""
+
+    name = "lru"
+
+    def __init__(self, num_ways: int, rng: Optional[np.random.Generator] = None):
+        super().__init__(num_ways, rng)
+        self.reset()
+
+    def reset(self) -> None:
+        # Start with distinct ages so the victim order is well defined.
+        self.ages = list(range(self.num_ways))
+
+    def _touch(self, way: int) -> None:
+        old_age = self.ages[way]
+        for other in range(self.num_ways):
+            if self.ages[other] < old_age:
+                self.ages[other] += 1
+        self.ages[way] = 0
+
+    def on_fill(self, way: int) -> None:
+        self._check_way(way)
+        self._touch(way)
+
+    def on_hit(self, way: int) -> None:
+        self._check_way(way)
+        self._touch(way)
+
+    def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        candidates = [w for w in range(self.num_ways) if w not in locked_ways]
+        if not candidates:
+            raise RuntimeError("all ways locked; cannot choose a victim")
+        return max(candidates, key=lambda w: self.ages[w])
+
+    def state_snapshot(self) -> tuple:
+        return tuple(self.ages)
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU for power-of-two associativity.
+
+    One bit per internal node; 0 means the pseudo-LRU block is in the left
+    subtree, 1 means right.  Touching a way flips the bits along its path to
+    point away from it; the victim is found by following the bits.
+    """
+
+    name = "plru"
+
+    def __init__(self, num_ways: int, rng: Optional[np.random.Generator] = None):
+        if num_ways & (num_ways - 1):
+            raise ValueError("tree PLRU requires a power-of-two number of ways")
+        super().__init__(num_ways, rng)
+        self.reset()
+
+    def reset(self) -> None:
+        self.bits = [0] * max(self.num_ways - 1, 1)
+
+    def _path_nodes(self, way: int) -> List[tuple]:
+        """Return (node_index, direction) pairs from root to the leaf ``way``."""
+        path = []
+        node = 0
+        low, high = 0, self.num_ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            direction = 0 if way < mid else 1
+            path.append((node, direction))
+            node = 2 * node + 1 + direction
+            if direction == 0:
+                high = mid
+            else:
+                low = mid
+        return path
+
+    def _touch(self, way: int) -> None:
+        for node, direction in self._path_nodes(way):
+            # Point the bit away from the touched way.
+            self.bits[node] = 1 - direction
+
+    def on_fill(self, way: int) -> None:
+        self._check_way(way)
+        self._touch(way)
+
+    def on_hit(self, way: int) -> None:
+        self._check_way(way)
+        self._touch(way)
+
+    def _follow(self) -> int:
+        node = 0
+        low, high = 0, self.num_ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            direction = self.bits[node]
+            node = 2 * node + 1 + direction
+            if direction == 0:
+                high = mid
+            else:
+                low = mid
+        return low
+
+    def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        victim = self._follow()
+        if victim not in locked_ways:
+            return victim
+        candidates = [w for w in range(self.num_ways) if w not in locked_ways]
+        if not candidates:
+            raise RuntimeError("all ways locked; cannot choose a victim")
+        return candidates[0]
+
+    def state_snapshot(self) -> tuple:
+        return tuple(self.bits)
+
+
+class RRIPPolicy(ReplacementPolicy):
+    """Static RRIP with 2-bit re-reference prediction values (RRPV).
+
+    Lines are inserted with RRPV = max-1 (2 for 2-bit), promoted to 0 on a
+    hit, and the victim is the first line with RRPV == max (3); if none
+    exists, all RRPVs are incremented until one reaches max.
+    """
+
+    name = "rrip"
+
+    def __init__(self, num_ways: int, rng: Optional[np.random.Generator] = None,
+                 bits: int = 2):
+        super().__init__(num_ways, rng)
+        self.max_rrpv = (1 << bits) - 1
+        self.insert_rrpv = self.max_rrpv - 1
+        self.reset()
+
+    def reset(self) -> None:
+        self.rrpv = [self.max_rrpv] * self.num_ways
+
+    def on_fill(self, way: int) -> None:
+        self._check_way(way)
+        self.rrpv[way] = self.insert_rrpv
+
+    def on_hit(self, way: int) -> None:
+        self._check_way(way)
+        self.rrpv[way] = 0
+
+    def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        candidates = [w for w in range(self.num_ways) if w not in locked_ways]
+        if not candidates:
+            raise RuntimeError("all ways locked; cannot choose a victim")
+        while True:
+            for way in candidates:
+                if self.rrpv[way] >= self.max_rrpv:
+                    return way
+            for way in candidates:
+                self.rrpv[way] += 1
+
+    def state_snapshot(self) -> tuple:
+        return tuple(self.rrpv)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim selection (non-deterministic)."""
+
+    name = "random"
+
+    def reset(self) -> None:
+        pass
+
+    def on_fill(self, way: int) -> None:
+        self._check_way(way)
+
+    def on_hit(self, way: int) -> None:
+        self._check_way(way)
+
+    def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        candidates = [w for w in range(self.num_ways) if w not in locked_ways]
+        if not candidates:
+            raise RuntimeError("all ways locked; cannot choose a victim")
+        return int(self.rng.choice(candidates))
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Evict the most-recently-used line (included for policy diversity)."""
+
+    name = "mru"
+
+    def __init__(self, num_ways: int, rng: Optional[np.random.Generator] = None):
+        super().__init__(num_ways, rng)
+        self.reset()
+
+    def reset(self) -> None:
+        self.ages = list(range(self.num_ways))
+
+    def _touch(self, way: int) -> None:
+        old_age = self.ages[way]
+        for other in range(self.num_ways):
+            if self.ages[other] < old_age:
+                self.ages[other] += 1
+        self.ages[way] = 0
+
+    def on_fill(self, way: int) -> None:
+        self._check_way(way)
+        self._touch(way)
+
+    def on_hit(self, way: int) -> None:
+        self._check_way(way)
+        self._touch(way)
+
+    def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        candidates = [w for w in range(self.num_ways) if w not in locked_ways]
+        if not candidates:
+            raise RuntimeError("all ways locked; cannot choose a victim")
+        return min(candidates, key=lambda w: self.ages[w])
+
+    def state_snapshot(self) -> tuple:
+        return tuple(self.ages)
+
+
+REPLACEMENT_POLICIES: Dict[str, Type[ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "plru": PLRUPolicy,
+    "rrip": RRIPPolicy,
+    "random": RandomPolicy,
+    "mru": MRUPolicy,
+}
+
+
+def make_policy(name: str, num_ways: int,
+                rng: Optional[np.random.Generator] = None) -> ReplacementPolicy:
+    """Construct the replacement policy registered under ``name``."""
+    key = name.lower()
+    if key not in REPLACEMENT_POLICIES:
+        raise ValueError(f"unknown replacement policy {name!r}; choose from {sorted(REPLACEMENT_POLICIES)}")
+    return REPLACEMENT_POLICIES[key](num_ways, rng=rng)

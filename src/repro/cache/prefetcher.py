@@ -1,0 +1,88 @@
+"""Hardware prefetcher models: next-line and stream prefetchers.
+
+Configs 2, 13, and 14 in Table IV of the paper add a next-line prefetcher
+(Smith, 1982) or a stream prefetcher (Jouppi, 1990) to the cache; the RL agent
+must still find working attack sequences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Prefetcher:
+    """Interface: given a demand access, return addresses to prefetch."""
+
+    name = "none"
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def prefetch_targets(self, address: int, hit: bool) -> List[int]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Always prefetch the next sequential line on a demand access."""
+
+    name = "nextline"
+
+    def __init__(self, wrap: Optional[int] = None):
+        self.wrap = wrap
+
+    def prefetch_targets(self, address: int, hit: bool) -> List[int]:
+        target = address + 1
+        if self.wrap is not None:
+            target %= self.wrap
+        return [target]
+
+
+class StreamPrefetcher(Prefetcher):
+    """Simple stream prefetcher: detect a monotonic stride and run ahead.
+
+    Keeps a single stream: after seeing ``trigger`` consecutive accesses with
+    the same stride, prefetches ``degree`` lines ahead along the stream.
+    """
+
+    name = "stream"
+
+    def __init__(self, trigger: int = 3, degree: int = 1):
+        if trigger < 2:
+            raise ValueError("trigger must be >= 2")
+        self.trigger = trigger
+        self.degree = degree
+        self.reset()
+
+    def reset(self) -> None:
+        self.last_address: Optional[int] = None
+        self.last_stride: Optional[int] = None
+        self.run_length = 0
+
+    def prefetch_targets(self, address: int, hit: bool) -> List[int]:
+        targets: List[int] = []
+        if self.last_address is not None:
+            stride = address - self.last_address
+            if stride != 0 and stride == self.last_stride:
+                self.run_length += 1
+            elif stride != 0:
+                self.last_stride = stride
+                self.run_length = 1
+            if self.run_length >= self.trigger - 1 and self.last_stride:
+                for ahead in range(1, self.degree + 1):
+                    targets.append(address + self.last_stride * ahead)
+        self.last_address = address
+        return targets
+
+
+def make_prefetcher(name: Optional[str]) -> Optional[Prefetcher]:
+    """Construct a prefetcher by name; None / 'none' disables prefetching."""
+    if name is None:
+        return None
+    key = name.lower()
+    if key in ("none", ""):
+        return None
+    if key in ("nextline", "next_line"):
+        return NextLinePrefetcher()
+    if key == "stream":
+        return StreamPrefetcher()
+    raise ValueError(f"unknown prefetcher {name!r}")

@@ -1,0 +1,32 @@
+"""Cache-timing attack detection and defense schemes.
+
+Implements the four protection schemes the paper evaluates against (Sec. V-D):
+
+* partition-locked cache (in :mod:`repro.cache.plcache`);
+* autocorrelation-based detection (CC-Hunter);
+* ML-based detection over cyclic interference (Cyclone, linear SVM);
+* microarchitecture-statistics (victim miss count) detection.
+"""
+
+from repro.detection.autocorrelation import (
+    autocorrelation,
+    autocorrelogram,
+    AutocorrelationDetector,
+)
+from repro.detection.svm import LinearSVM, StandardScaler
+from repro.detection.cyclone import CycloneDetector, cyclone_features
+from repro.detection.misscount import MissCountDetector
+from repro.detection.workloads import BenignWorkloadGenerator, WorkloadKind
+
+__all__ = [
+    "autocorrelation",
+    "autocorrelogram",
+    "AutocorrelationDetector",
+    "LinearSVM",
+    "StandardScaler",
+    "CycloneDetector",
+    "cyclone_features",
+    "MissCountDetector",
+    "BenignWorkloadGenerator",
+    "WorkloadKind",
+]

@@ -1,0 +1,82 @@
+"""CC-Hunter-style autocorrelation detection of cache covert channels.
+
+CC-Hunter observes the train of inter-domain conflict misses (attacker evicts
+victim = 1, victim evicts attacker = 0) and flags an attack when the
+autocorrelation of that train at some lag 1 <= p <= P exceeds a threshold
+(the paper uses 0.75).  The autocorrelation formula follows Sec. V-D:
+
+    C_p = [ n * sum_{i=0}^{n-p} (X_i - mean)(X_{i+p} - mean) ]
+          / [ (n - p) * sum_{i=0}^{n} (X_i - mean)^2 ]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+def autocorrelation(train: Sequence[float], lag: int) -> float:
+    """Autocorrelation coefficient of ``train`` at ``lag`` (paper's C_p)."""
+    series = np.asarray(train, dtype=np.float64)
+    n = series.size
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    if n == 0:
+        return 0.0
+    if lag == 0:
+        return 1.0
+    if lag >= n:
+        return 0.0
+    mean = series.mean()
+    centered = series - mean
+    denominator = (n - lag) * float(np.sum(centered ** 2))
+    if denominator == 0.0:
+        # A constant train is perfectly periodic at every lag.
+        return 1.0
+    numerator = n * float(np.sum(centered[: n - lag] * centered[lag:]))
+    return numerator / denominator
+
+
+def autocorrelogram(train: Sequence[float], max_lag: int) -> List[float]:
+    """Autocorrelation coefficients for lags 0..max_lag."""
+    return [autocorrelation(train, lag) for lag in range(max_lag + 1)]
+
+
+@dataclass
+class AutocorrelationDetector:
+    """Flags an attack when max_{1<=p<=P} C_p exceeds the threshold."""
+
+    threshold: float = 0.75
+    max_lag: int = 30
+    min_events: int = 4
+
+    def max_autocorrelation(self, train: Sequence[float]) -> float:
+        """Maximum |C_p| over lags 1..P (0.0 when the train is too short)."""
+        series = list(train)
+        if len(series) < self.min_events:
+            return 0.0
+        coefficients = autocorrelogram(series, min(self.max_lag, len(series) - 1))[1:]
+        if not coefficients:
+            return 0.0
+        return float(max(coefficients))
+
+    def detect(self, train: Sequence[float]) -> bool:
+        """True when the conflict-event train looks like a periodic covert channel."""
+        return self.max_autocorrelation(train) > self.threshold
+
+    def penalty(self, train: Sequence[float], scale: float = -1.0) -> float:
+        """L2 penalty over the autocorrelogram, used to shape the RL reward.
+
+        The paper augments the reward with ``a * sum_p C_p^2 / P`` where ``a``
+        is negative, so agents learn to keep the conflict train aperiodic.
+        """
+        series = list(train)
+        if len(series) < self.min_events:
+            return 0.0
+        coefficients = autocorrelogram(series, min(self.max_lag, len(series) - 1))[1:]
+        if not coefficients:
+            return 0.0
+        values = np.asarray(coefficients, dtype=np.float64)
+        return float(scale * np.mean(values ** 2))

@@ -1,0 +1,45 @@
+"""Microarchitecture-statistics (performance-counter) detection.
+
+Detection schemes based on hardware performance counters monitor the victim's
+cache hit rate and flag an attack when the victim suffers abnormally many
+misses.  Following the paper's evaluation setup (Sec. V-D, "µarch
+Statistics-based Detection"), an attack is considered detected as soon as the
+victim's triggered access results in a cache miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass
+class MissCountDetector:
+    """Flags an attack when the victim accumulates more than ``threshold`` misses."""
+
+    threshold: int = 0
+    victim_misses: int = 0
+
+    def reset(self) -> None:
+        self.victim_misses = 0
+
+    def observe_victim_access(self, hit: Optional[bool]) -> bool:
+        """Record one victim access; return True when detection fires.
+
+        ``hit`` is None when the victim made no access (no observable event).
+        """
+        if hit is False:
+            self.victim_misses += 1
+        return self.detected
+
+    @property
+    def detected(self) -> bool:
+        return self.victim_misses > self.threshold
+
+    def scan_trace(self, victim_hits: Iterable[Optional[bool]]) -> bool:
+        """Run the detector over a sequence of victim access outcomes."""
+        self.reset()
+        for hit in victim_hits:
+            if self.observe_victim_access(hit):
+                return True
+        return self.detected

@@ -1,0 +1,112 @@
+"""Linear support-vector machine trained from scratch (for the Cyclone detector).
+
+The paper uses an SVM classifier over cyclic-interference features.  Offline,
+scikit-learn is unavailable, so this module implements a standard linear SVM
+with hinge loss and L2 regularization, optimized by mini-batch subgradient
+descent, plus a feature standardizer and k-fold cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class StandardScaler:
+    """Standardize features to zero mean and unit variance."""
+
+    mean_: Optional[np.ndarray] = None
+    scale_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=np.float64)
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler has not been fit")
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+@dataclass
+class LinearSVM:
+    """Binary linear SVM with hinge loss, labels in {0, 1}."""
+
+    learning_rate: float = 0.05
+    regularization: float = 1e-3
+    epochs: int = 200
+    batch_size: int = 16
+    seed: int = 0
+    weights: Optional[np.ndarray] = None
+    bias: float = 0.0
+    scaler: StandardScaler = field(default_factory=StandardScaler)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if set(np.unique(labels)) - {0, 1}:
+            raise ValueError("labels must be 0 (benign) or 1 (attack)")
+        signed = np.where(labels > 0, 1.0, -1.0)
+        scaled = self.scaler.fit_transform(features)
+        rng = np.random.default_rng(self.seed)
+        num_samples, num_features = scaled.shape
+        self.weights = np.zeros(num_features)
+        self.bias = 0.0
+        for _ in range(self.epochs):
+            order = rng.permutation(num_samples)
+            for start in range(0, num_samples, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                x_batch, y_batch = scaled[batch], signed[batch]
+                margins = y_batch * (x_batch @ self.weights + self.bias)
+                violating = margins < 1.0
+                grad_w = self.regularization * self.weights
+                grad_b = 0.0
+                if np.any(violating):
+                    grad_w = grad_w - (y_batch[violating, None] * x_batch[violating]).mean(axis=0)
+                    grad_b = -float(y_batch[violating].mean())
+                self.weights -= self.learning_rate * grad_w
+                self.bias -= self.learning_rate * grad_b
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("SVM has not been fit")
+        scaled = self.scaler.transform(np.atleast_2d(features))
+        return scaled @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.decision_function(features) > 0.0).astype(np.int64)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.predict(features)
+        return float(np.mean(predictions == np.asarray(labels)))
+
+
+def k_fold_cross_validate(features: np.ndarray, labels: np.ndarray, folds: int = 5,
+                          seed: int = 0, **svm_kwargs) -> Tuple[float, List[float]]:
+    """K-fold cross-validation accuracy of :class:`LinearSVM` on the data."""
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(labels))
+    fold_indices = np.array_split(order, folds)
+    scores: List[float] = []
+    for fold in range(folds):
+        test_index = fold_indices[fold]
+        train_index = np.concatenate([fold_indices[i] for i in range(folds) if i != fold])
+        model = LinearSVM(seed=seed, **svm_kwargs)
+        model.fit(features[train_index], labels[train_index])
+        scores.append(model.score(features[test_index], labels[test_index]))
+    return float(np.mean(scores)), scores

@@ -1,0 +1,106 @@
+"""Discrete action space of the cache guessing game.
+
+The agent's actions (Sec. III-B / IV-C):
+
+* ``ACCESS addr``  — attacker memory access, observes hit/miss latency;
+* ``FLUSH addr``   — clflush of an attacker-reachable address (if enabled);
+* ``TRIGGER``      — let the victim run its secret-dependent access;
+* ``GUESS addr``   — guess the victim's secret address (ends the episode);
+* ``GUESS_EMPTY``  — guess that the victim made no access (if enabled).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.env.config import EnvConfig
+
+
+class ActionKind(enum.Enum):
+    """Semantic category of an agent action."""
+
+    ACCESS = "access"
+    FLUSH = "flush"
+    TRIGGER = "trigger"
+    GUESS = "guess"
+    GUESS_EMPTY = "guess_empty"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One concrete action: a kind plus (for access/flush/guess) an address."""
+
+    kind: ActionKind
+    address: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.kind is ActionKind.ACCESS:
+            return str(self.address)
+        if self.kind is ActionKind.FLUSH:
+            return f"f{self.address}"
+        if self.kind is ActionKind.TRIGGER:
+            return "v"
+        if self.kind is ActionKind.GUESS:
+            return f"g{self.address}"
+        return "gE"
+
+    @property
+    def is_guess(self) -> bool:
+        return self.kind in (ActionKind.GUESS, ActionKind.GUESS_EMPTY)
+
+
+class ActionSpace:
+    """Enumeration of the discrete actions available under an :class:`EnvConfig`."""
+
+    def __init__(self, config: EnvConfig):
+        self.config = config
+        self._actions: List[Action] = []
+        for address in config.attacker_addresses:
+            self._actions.append(Action(ActionKind.ACCESS, address))
+        if config.flush_enable:
+            for address in config.attacker_addresses:
+                self._actions.append(Action(ActionKind.FLUSH, address))
+        self._actions.append(Action(ActionKind.TRIGGER))
+        for address in config.victim_addresses:
+            self._actions.append(Action(ActionKind.GUESS, address))
+        if config.victim_no_access_enable:
+            self._actions.append(Action(ActionKind.GUESS_EMPTY))
+        self._index: Dict[Action, int] = {action: i for i, action in enumerate(self._actions)}
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self):
+        return iter(self._actions)
+
+    def decode(self, index: int) -> Action:
+        """Map a discrete action index to its semantic :class:`Action`."""
+        if not 0 <= index < len(self._actions):
+            raise IndexError(f"action index {index} out of range (n={len(self._actions)})")
+        return self._actions[index]
+
+    def encode(self, action: Action) -> int:
+        """Map a semantic :class:`Action` back to its index."""
+        if action not in self._index:
+            raise KeyError(f"action {action} not in this action space")
+        return self._index[action]
+
+    @property
+    def actions(self) -> List[Action]:
+        return list(self._actions)
+
+    @property
+    def guess_indices(self) -> List[int]:
+        return [i for i, action in enumerate(self._actions) if action.is_guess]
+
+    @property
+    def trigger_index(self) -> int:
+        return self.encode(Action(ActionKind.TRIGGER))
+
+    def guess_index_for_secret(self, secret: Optional[int]) -> int:
+        """Index of the guess action matching ``secret`` (None = no access)."""
+        if secret is None:
+            return self.encode(Action(ActionKind.GUESS_EMPTY))
+        return self.encode(Action(ActionKind.GUESS, secret))

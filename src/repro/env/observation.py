@@ -1,0 +1,93 @@
+"""Observation encoding: a sliding window of per-step features.
+
+The state space (Sec. IV-C) is the Cartesian product over a window of W steps
+of (latency, action taken, step index, victim-triggered).  The encoder keeps
+the most recent W steps and produces either a flat feature vector (for MLP
+policies) or a (W, features) matrix (for the attention encoder).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+class LatencyObservation(enum.Enum):
+    """What the attacker observed for one step: a hit, a miss, or nothing."""
+
+    HIT = 0
+    MISS = 1
+    NA = 2
+
+
+@dataclass
+class StepRecord:
+    """One step of history: latency category, action index, step, trigger flag."""
+
+    latency: LatencyObservation
+    action_index: int
+    step: int
+    victim_triggered: bool
+
+
+class ObservationEncoder:
+    """Fixed-size sliding-window encoder for the guessing-game state."""
+
+    def __init__(self, window_size: int, num_actions: int, max_steps: int):
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.window_size = window_size
+        self.num_actions = num_actions
+        self.max_steps = max(max_steps, 1)
+        # Per-step features: latency one-hot (3) + action one-hot (+1 "none")
+        # + normalized step + victim-triggered flag.
+        self.step_features = 3 + (num_actions + 1) + 1 + 1
+        self.reset()
+
+    def reset(self) -> None:
+        self._history: List[StepRecord] = []
+
+    def record(self, latency: LatencyObservation, action_index: int, step: int,
+               victim_triggered: bool) -> None:
+        """Append one step of history (oldest entries fall out of the window)."""
+        self._history.append(StepRecord(latency, action_index, step, victim_triggered))
+        if len(self._history) > self.window_size:
+            del self._history[: len(self._history) - self.window_size]
+
+    @property
+    def history(self) -> List[StepRecord]:
+        return list(self._history)
+
+    @property
+    def flat_size(self) -> int:
+        return self.window_size * self.step_features
+
+    def _encode_step(self, record: Optional[StepRecord]) -> np.ndarray:
+        features = np.zeros(self.step_features, dtype=np.float64)
+        if record is None:
+            # Empty slot: latency NA, action "none".
+            features[LatencyObservation.NA.value] = 1.0
+            features[3 + self.num_actions] = 1.0
+            return features
+        features[record.latency.value] = 1.0
+        features[3 + record.action_index] = 1.0
+        features[3 + self.num_actions + 1] = min(record.step / self.max_steps, 1.0)
+        features[3 + self.num_actions + 2] = 1.0 if record.victim_triggered else 0.0
+        return features
+
+    def encode_matrix(self) -> np.ndarray:
+        """(window_size, step_features) matrix, most recent step last."""
+        rows = []
+        padding = self.window_size - len(self._history)
+        for _ in range(padding):
+            rows.append(self._encode_step(None))
+        for record in self._history:
+            rows.append(self._encode_step(record))
+        return np.stack(rows, axis=0)
+
+    def encode_flat(self) -> np.ndarray:
+        """Flattened window feature vector for MLP policies."""
+        return self.encode_matrix().reshape(-1)

@@ -1,0 +1,51 @@
+"""Minimal observation/action space descriptions (OpenAI-Gym-compatible shape)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Discrete:
+    """A discrete space with ``n`` actions: {0, 1, ..., n-1}."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("Discrete space requires n >= 1")
+        self.n = n
+
+    def contains(self, value: int) -> bool:
+        return isinstance(value, (int, np.integer)) and 0 <= int(value) < self.n
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> int:
+        rng = rng or np.random.default_rng()
+        return int(rng.integers(self.n))
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Discrete) and other.n == self.n
+
+
+class Box:
+    """A continuous box space (used for the flattened observation vector)."""
+
+    def __init__(self, low: float, high: float, shape: tuple):
+        self.low = float(low)
+        self.high = float(high)
+        self.shape = tuple(shape)
+
+    def contains(self, value: np.ndarray) -> bool:
+        value = np.asarray(value)
+        return (value.shape == self.shape
+                and bool(np.all(value >= self.low - 1e-9))
+                and bool(np.all(value <= self.high + 1e-9)))
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        return rng.uniform(self.low, self.high, size=self.shape)
+
+    def __repr__(self) -> str:
+        return f"Box(low={self.low}, high={self.high}, shape={self.shape})"

@@ -1,0 +1,131 @@
+"""Environment wrappers that add detection schemes to the guessing game.
+
+Each wrapper keeps the underlying environment's interface (reset/step) and
+augments the reward / termination according to one of the paper's detectors:
+
+* :class:`MissCountDetectionWrapper` — terminate with ``detection_reward``
+  when the victim's triggered access misses (µarch-statistics detection);
+* :class:`AutocorrelationPenaltyWrapper` — add an L2 autocorrelation penalty
+  at episode end (CC-Hunter bypass training, Sec. V-D);
+* :class:`SVMDetectionWrapper` — add ``detection_reward`` when a Cyclone-style
+  SVM classifies the episode's trace as an attack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.detection.autocorrelation import AutocorrelationDetector
+from repro.detection.cyclone import CycloneDetector
+from repro.detection.misscount import MissCountDetector
+from repro.env.guessing_game import CacheGuessingGameEnv, StepResult
+
+
+class EnvWrapper:
+    """Base wrapper delegating everything to the wrapped environment."""
+
+    def __init__(self, env: CacheGuessingGameEnv):
+        self.env = env
+
+    def __getattr__(self, name):
+        return getattr(self.env, name)
+
+    def reset(self, **kwargs) -> np.ndarray:
+        return self.env.reset(**kwargs)
+
+    def step(self, action_index: int) -> StepResult:
+        return self.env.step(action_index)
+
+
+class MissCountDetectionWrapper(EnvWrapper):
+    """Terminate the episode when the victim's access misses."""
+
+    def __init__(self, env: CacheGuessingGameEnv, detector: Optional[MissCountDetector] = None):
+        super().__init__(env)
+        self.detector = detector or MissCountDetector()
+
+    def reset(self, **kwargs) -> np.ndarray:
+        self.detector.reset()
+        return self.env.reset(**kwargs)
+
+    def step(self, action_index: int) -> StepResult:
+        result = self.env.step(action_index)
+        victim_hit = result.info.get("victim_hit", "absent")
+        if victim_hit != "absent" and self.detector.observe_victim_access(victim_hit):
+            reward = result.reward + self.env.config.rewards.detection_reward
+            result = StepResult(result.observation, reward, True,
+                                {**result.info, "detected": True})
+        return result
+
+
+def conflict_train_from_env(env: CacheGuessingGameEnv) -> List[int]:
+    """Extract the CC-Hunter conflict-event train from the env's cache backend."""
+    events = env.backend.events
+    if events is None:
+        return []
+    return events.conflict_train()
+
+
+class AutocorrelationPenaltyWrapper(EnvWrapper):
+    """Add an autocorrelation L2 penalty to the reward at episode end."""
+
+    def __init__(self, env: CacheGuessingGameEnv,
+                 detector: Optional[AutocorrelationDetector] = None,
+                 penalty_scale: float = -1.0, terminate_on_detection: bool = False):
+        super().__init__(env)
+        self.detector = detector or AutocorrelationDetector()
+        self.penalty_scale = penalty_scale
+        self.terminate_on_detection = terminate_on_detection
+
+    def step(self, action_index: int) -> StepResult:
+        result = self.env.step(action_index)
+        if not result.done:
+            return result
+        train = conflict_train_from_env(self.env)
+        penalty = self.detector.penalty(train, scale=self.penalty_scale)
+        max_autocorrelation = self.detector.max_autocorrelation(train)
+        detected = self.detector.detect(train)
+        reward = result.reward + penalty
+        if detected and self.terminate_on_detection:
+            reward += self.env.config.rewards.detection_reward
+        info = {**result.info,
+                "autocorrelation_penalty": penalty,
+                "max_autocorrelation": max_autocorrelation,
+                "detected": detected,
+                "conflict_train": train}
+        return StepResult(result.observation, reward, result.done, info)
+
+
+def domain_trace_from_env(env: CacheGuessingGameEnv) -> List[Tuple[str, int]]:
+    """(domain, address) trace of the current episode for the Cyclone detector."""
+    trace = []
+    for entry in env.trace:
+        if entry.kind == "access" and entry.address is not None:
+            trace.append((entry.actor, entry.address))
+    return trace
+
+
+class SVMDetectionWrapper(EnvWrapper):
+    """Penalize episodes whose access trace the Cyclone SVM classifies as an attack."""
+
+    def __init__(self, env: CacheGuessingGameEnv, detector: CycloneDetector,
+                 penalize: bool = True):
+        super().__init__(env)
+        self.detector = detector
+        self.penalize = penalize
+
+    def step(self, action_index: int) -> StepResult:
+        result = self.env.step(action_index)
+        if not result.done:
+            return result
+        trace = domain_trace_from_env(self.env)
+        detection_rate = self.detector.detection_rate(trace)
+        detected = detection_rate > 0.0
+        reward = result.reward
+        if detected and self.penalize:
+            reward += self.env.config.rewards.detection_reward * detection_rate
+        info = {**result.info, "detected": detected,
+                "svm_detection_rate": detection_rate}
+        return StepResult(result.observation, reward, result.done, info)

@@ -1,0 +1,12 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes a ``run(scale=...)`` function returning structured rows
+plus a ``format_table(rows)`` helper printing them in the paper's layout.  The
+:class:`repro.experiments.common.ExperimentScale` controls the training budget
+so the same driver powers quick tests, the benchmark harness, and full
+paper-scale runs.
+"""
+
+from repro.experiments.common import ExperimentScale, SMOKE, BENCH, PAPER
+
+__all__ = ["ExperimentScale", "SMOKE", "BENCH", "PAPER"]

@@ -1,0 +1,127 @@
+"""Shared experiment infrastructure: scales, training helpers, table formatting.
+
+The paper trains on a GPU cluster; this reproduction runs on one CPU, so every
+experiment accepts an :class:`ExperimentScale` that shrinks the training
+budget (and, for the most expensive studies, the cache size) while preserving
+the comparisons the paper makes.  ``PAPER`` approximates the original budgets;
+``BENCH`` is what the benchmark harness runs; ``SMOKE`` is for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.env.guessing_game import CacheGuessingGameEnv
+from repro.rl.ppo import PPOConfig
+from repro.rl.trainer import PPOTrainer, TrainingResult
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Budget knobs for one experiment run."""
+
+    name: str
+    max_updates: int
+    horizon: int
+    num_envs: int
+    eval_episodes: int
+    runs: int
+    hidden_sizes: tuple = (128, 128)
+    learning_rate: float = 1e-3
+    entropy_coefficient: float = 0.1
+    entropy_coefficient_final: float = 0.003
+    minibatch_size: int = 512
+    update_epochs: int = 6
+
+    def ppo_config(self, **overrides) -> PPOConfig:
+        config = PPOConfig(
+            learning_rate=self.learning_rate,
+            entropy_coefficient=self.entropy_coefficient,
+            entropy_coefficient_final=self.entropy_coefficient_final,
+            update_epochs=self.update_epochs,
+            minibatch_size=self.minibatch_size,
+            horizon=self.horizon,
+            num_envs=self.num_envs,
+        )
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+    def with_overrides(self, **overrides) -> "ExperimentScale":
+        return replace(self, **overrides)
+
+
+SMOKE = ExperimentScale(name="smoke", max_updates=6, horizon=64, num_envs=4,
+                        eval_episodes=10, runs=1, hidden_sizes=(32, 32))
+BENCH = ExperimentScale(name="bench", max_updates=200, horizon=256, num_envs=8,
+                        eval_episodes=40, runs=1)
+PAPER = ExperimentScale(name="paper", max_updates=800, horizon=512, num_envs=8,
+                        eval_episodes=100, runs=3)
+
+SCALES: Dict[str, ExperimentScale] = {"smoke": SMOKE, "bench": BENCH, "paper": PAPER}
+
+
+def get_scale(name_or_scale) -> ExperimentScale:
+    """Accept either an :class:`ExperimentScale` or a preset name."""
+    if isinstance(name_or_scale, ExperimentScale):
+        return name_or_scale
+    if name_or_scale in SCALES:
+        return SCALES[name_or_scale]
+    raise KeyError(f"unknown scale {name_or_scale!r}; choose from {sorted(SCALES)}")
+
+
+def train_agent(env_factory: Callable[[int], CacheGuessingGameEnv],
+                scale: ExperimentScale, seed: int = 0,
+                target_accuracy: float = 0.95,
+                ppo_overrides: Optional[dict] = None) -> TrainingResult:
+    """Train one PPO agent with the scale's budget and return its result."""
+    trainer = PPOTrainer(env_factory, scale.ppo_config(**(ppo_overrides or {})),
+                         hidden_sizes=scale.hidden_sizes, seed=seed)
+    return trainer.train(max_updates=scale.max_updates, target_accuracy=target_accuracy,
+                         eval_every=10, eval_episodes=scale.eval_episodes)
+
+
+def train_agent_with_trainer(env_factory: Callable[[int], CacheGuessingGameEnv],
+                             scale: ExperimentScale, seed: int = 0,
+                             target_accuracy: float = 0.95,
+                             ppo_overrides: Optional[dict] = None) -> tuple:
+    """Like :func:`train_agent` but also return the trainer (for further evaluation)."""
+    trainer = PPOTrainer(env_factory, scale.ppo_config(**(ppo_overrides or {})),
+                         hidden_sizes=scale.hidden_sizes, seed=seed)
+    result = trainer.train(max_updates=scale.max_updates, target_accuracy=target_accuracy,
+                           eval_every=10, eval_episodes=scale.eval_episodes)
+    return result, trainer
+
+
+def average_over_runs(values: Sequence[float]) -> float:
+    """Mean of per-run statistics (Tables V and VII average over three runs)."""
+    cleaned = [value for value in values if value is not None]
+    if not cleaned:
+        return float("nan")
+    return float(np.mean(cleaned))
+
+
+def format_table(rows: List[Dict], columns: Sequence[str],
+                 title: str = "") -> str:
+    """Render rows as a fixed-width text table in the paper's column order."""
+    header = [str(column) for column in columns]
+    rendered_rows = [[_render_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+              else len(header[i]) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,28 @@
+"""Simulated real-hardware substitutes.
+
+The paper runs AutoCAT against real Intel processors through CacheQuery and
+demonstrates covert channels with a hand-written assembly template.  Neither
+real hardware nor CacheQuery is available offline, so this package provides
+blackbox cache models with *hidden* (undocumented) replacement policies,
+measurement noise, a CacheQuery-style batched single-set query interface, and
+a covert-channel timing model of the four machines in Table X.  The agent-side
+code path is identical: it only observes noisy hit/miss latencies.
+"""
+
+from repro.hardware.machines import MachineSpec, MACHINES, get_machine, list_machines
+from repro.hardware.blackbox import BlackboxCache, BlackboxCacheBackend
+from repro.hardware.cachequery import CacheQueryInterface, QueryResult
+from repro.hardware.timing import CovertChannelTimingModel, TimingParameters
+
+__all__ = [
+    "MachineSpec",
+    "MACHINES",
+    "get_machine",
+    "list_machines",
+    "BlackboxCache",
+    "BlackboxCacheBackend",
+    "CacheQueryInterface",
+    "QueryResult",
+    "CovertChannelTimingModel",
+    "TimingParameters",
+]

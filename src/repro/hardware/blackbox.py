@@ -1,0 +1,97 @@
+"""Blackbox cache models standing in for real processors.
+
+A :class:`BlackboxCache` wraps a software cache configured from a
+:class:`MachineSpec` but only exposes what real hardware exposes: timed
+accesses to one cache set, with measurement noise that occasionally flips the
+observed hit/miss outcome.  The hidden replacement policy is not reachable
+through the public interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.events import EventLog
+from repro.env.backends import CacheBackend
+from repro.hardware.machines import MachineSpec
+
+
+class BlackboxCache:
+    """One cache set of a simulated processor, observed through noisy timing."""
+
+    def __init__(self, spec: MachineSpec, rng: Optional[np.random.Generator] = None):
+        self.spec = spec
+        self.rng = rng or np.random.default_rng(0)
+        config = CacheConfig.fully_associative(
+            num_ways=spec.num_ways,
+            rep_policy=spec.hidden_policy,
+            hit_latency=max(1, int(round(spec.access_cycles))),
+            miss_latency=max(2, int(round(spec.access_cycles * 6))),
+        )
+        self._cache = Cache(config, rng=self.rng)
+
+    @property
+    def num_ways(self) -> int:
+        return self.spec.num_ways
+
+    def reset(self) -> None:
+        self._cache.reset()
+
+    def _noisy(self, hit: bool) -> bool:
+        if self.rng.random() < self.spec.noise_probability:
+            return not hit
+        return hit
+
+    def timed_access(self, address: int, domain: str = "attacker") -> tuple:
+        """Access ``address`` and return (observed_hit, latency_cycles).
+
+        The observed outcome includes measurement noise: with probability
+        ``noise_probability`` the hit/miss classification is flipped, as
+        happens on real machines due to interference and timer jitter.
+        """
+        result = self._cache.access(address, domain=domain)
+        observed_hit = self._noisy(result.hit)
+        base = self.spec.access_cycles if observed_hit else self.spec.access_cycles * 6
+        jitter = self.rng.normal(0.0, 0.5)
+        return observed_hit, max(1.0, base + jitter)
+
+    def flush(self, address: int) -> None:
+        self._cache.flush(address)
+
+    @property
+    def events(self) -> EventLog:
+        return self._cache.events
+
+    def true_contents(self) -> list:
+        """Ground-truth contents — available to tests only, never to the agent."""
+        return self._cache.contents()
+
+
+class BlackboxCacheBackend(CacheBackend):
+    """Adapt a :class:`BlackboxCache` to the environment's backend interface."""
+
+    def __init__(self, spec: MachineSpec, rng: Optional[np.random.Generator] = None,
+                 flush_supported: bool = False):
+        self.blackbox = BlackboxCache(spec, rng=rng)
+        self.flush_supported = flush_supported
+
+    def reset(self) -> None:
+        self.blackbox.reset()
+
+    def access(self, address: int, domain: str) -> tuple:
+        hit, latency = self.blackbox.timed_access(address, domain=domain)
+        return hit, int(round(latency))
+
+    def flush(self, address: int, domain: str) -> None:
+        if not self.flush_supported:
+            # clflush is not part of the CacheQuery-style interface; ignore it.
+            return
+        self.blackbox.flush(address)
+
+    @property
+    def events(self) -> EventLog:
+        return self.blackbox.events

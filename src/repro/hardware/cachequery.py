@@ -1,0 +1,90 @@
+"""CacheQuery-style batched query interface.
+
+CacheQuery (Vila et al., PLDI 2020) lets an experimenter submit a sequence of
+accesses to one cache set of a real processor and get back the measured
+latencies.  The paper trains on real hardware by executing *whole episodes as
+a batch* and revealing the latencies only afterwards (Sec. IV-C).  This module
+reproduces that interface on top of the blackbox machine models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.blackbox import BlackboxCache
+from repro.hardware.machines import MachineSpec
+
+
+@dataclass
+class QueryResult:
+    """Result of one batched query: per-access observed hit/miss and latency."""
+
+    sequence: List[Tuple[str, int]]
+    hits: List[Optional[bool]]
+    latencies: List[Optional[float]]
+
+    def hit_pattern(self) -> str:
+        """Compact string such as "HMH-" (H=hit, M=miss, -=not measured)."""
+        symbols = []
+        for hit in self.hits:
+            if hit is None:
+                symbols.append("-")
+            else:
+                symbols.append("H" if hit else "M")
+        return "".join(symbols)
+
+
+class CacheQueryInterface:
+    """Batched single-set access interface over a blackbox machine."""
+
+    def __init__(self, spec: MachineSpec, rng: Optional[np.random.Generator] = None):
+        self.spec = spec
+        self.rng = rng or np.random.default_rng(0)
+        self.blackbox = BlackboxCache(spec, rng=self.rng)
+
+    def reset(self) -> None:
+        self.blackbox.reset()
+
+    def run_batch(self, sequence: Sequence[Tuple[str, int]],
+                  measure_attacker_only: bool = True,
+                  reset_before: bool = True) -> QueryResult:
+        """Execute a (domain, address) sequence; reveal latencies afterwards.
+
+        Victim accesses are executed but their latency is masked (None) when
+        ``measure_attacker_only`` is set, matching the paper's threat model.
+        """
+        if reset_before:
+            self.reset()
+        hits: List[Optional[bool]] = []
+        latencies: List[Optional[float]] = []
+        for domain, address in sequence:
+            hit, latency = self.blackbox.timed_access(address, domain=domain)
+            if domain != "attacker" and measure_attacker_only:
+                hits.append(None)
+                latencies.append(None)
+            else:
+                hits.append(hit)
+                latencies.append(latency)
+        return QueryResult(sequence=list(sequence), hits=hits, latencies=latencies)
+
+    def measure_eviction(self, prime_addresses: Sequence[int], probe_address: int,
+                         victim_address: Optional[int] = None, repeats: int = 10) -> float:
+        """Fraction of repeats in which ``probe_address`` missed after the victim ran.
+
+        A convenience used when reverse-engineering a set's behaviour by hand,
+        mirroring how CacheQuery is used in practice.
+        """
+        misses = 0
+        for _ in range(repeats):
+            sequence: List[Tuple[str, int]] = [("attacker", a) for a in prime_addresses]
+            if victim_address is not None:
+                sequence.append(("victim", victim_address))
+            sequence.append(("attacker", probe_address))
+            result = self.run_batch(sequence)
+            final_hit = result.hits[-1]
+            if final_hit is False:
+                misses += 1
+        return misses / repeats

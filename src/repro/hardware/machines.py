@@ -1,0 +1,125 @@
+"""Registry of simulated machines (Tables III and X of the paper).
+
+Each :class:`MachineSpec` describes one cache level of one processor: the
+associativity that is architecturally visible, the *hidden* replacement policy
+(marked "not officially documented" in the paper for L2/L3), the measurement
+noise level, and the timing parameters used by the covert-channel model.  The
+hidden policy is intentionally not exposed through the blackbox interface —
+the RL agent must cope without it, exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One cache level of one simulated processor."""
+
+    name: str
+    microarchitecture: str
+    cache_level: str
+    num_ways: int
+    hidden_policy: str
+    documented_policy: Optional[str]
+    noise_probability: float
+    frequency_ghz: float
+    access_cycles: float
+    measure_cycles: float
+    symbol_overhead_cycles: float = 60.0
+    l1d_size_kb: Optional[int] = None
+    operating_system: str = "Linux"
+    notes: str = ""
+
+    @property
+    def policy_is_documented(self) -> bool:
+        return self.documented_policy is not None
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:{self.cache_level}"
+
+
+def _spec(**kwargs) -> MachineSpec:
+    return MachineSpec(**kwargs)
+
+
+# Table III machines (attack exploration targets).
+_TABLE3: List[MachineSpec] = [
+    _spec(name="Core i7-6700", microarchitecture="SkyLake", cache_level="L1",
+          num_ways=8, hidden_policy="plru", documented_policy="plru",
+          noise_probability=0.005, frequency_ghz=3.4, access_cycles=4.0,
+          measure_cycles=24.0, l1d_size_kb=32),
+    _spec(name="Core i7-6700", microarchitecture="SkyLake", cache_level="L2",
+          num_ways=4, hidden_policy="rrip", documented_policy=None,
+          noise_probability=0.01, frequency_ghz=3.4, access_cycles=12.0,
+          measure_cycles=40.0, notes="policy not officially documented"),
+    _spec(name="Core i7-6700", microarchitecture="SkyLake", cache_level="L3",
+          num_ways=4, hidden_policy="rrip", documented_policy=None,
+          noise_probability=0.01, frequency_ghz=3.4, access_cycles=30.0,
+          measure_cycles=70.0, notes="4-way partition via Intel CAT"),
+    _spec(name="Core i7-7700K", microarchitecture="KabyLake", cache_level="L3",
+          num_ways=4, hidden_policy="rrip", documented_policy=None,
+          noise_probability=0.01, frequency_ghz=4.2, access_cycles=30.0,
+          measure_cycles=70.0, notes="4-way partition via Intel CAT"),
+    _spec(name="Core i7-7700K", microarchitecture="KabyLake", cache_level="L3-8way",
+          num_ways=8, hidden_policy="rrip", documented_policy=None,
+          noise_probability=0.015, frequency_ghz=4.2, access_cycles=30.0,
+          measure_cycles=70.0, notes="8-way partition via Intel CAT"),
+    _spec(name="Core i7-9700", microarchitecture="CoffeeLake", cache_level="L1",
+          num_ways=8, hidden_policy="plru", documented_policy="plru",
+          noise_probability=0.005, frequency_ghz=3.0, access_cycles=4.0,
+          measure_cycles=24.0, l1d_size_kb=32),
+    _spec(name="Core i7-9700", microarchitecture="CoffeeLake", cache_level="L2",
+          num_ways=4, hidden_policy="rrip", documented_policy=None,
+          noise_probability=0.01, frequency_ghz=3.0, access_cycles=12.0,
+          measure_cycles=40.0, notes="policy not officially documented"),
+]
+
+# Table X machines (covert-channel bit-rate measurements, L1D).  The access
+# and measurement cycle costs are calibrated so the timing model lands close
+# to the paper's reported Mbit/s numbers; each "access" models a dependent
+# pointer-chasing load plus loop overhead, and "measure" is the extra cost of
+# serializing timers (RDTSCP) around a load.
+_TABLE10: List[MachineSpec] = [
+    _spec(name="Xeon E5-2687W v2", microarchitecture="IvyBridge", cache_level="L1D",
+          num_ways=8, hidden_policy="plru", documented_policy="plru",
+          noise_probability=0.008, frequency_ghz=3.4, access_cycles=46.0,
+          measure_cycles=106.0, symbol_overhead_cycles=0.0, l1d_size_kb=32,
+          operating_system="Ubuntu18"),
+    _spec(name="Core i7-6700", microarchitecture="SkyLake", cache_level="L1D",
+          num_ways=8, hidden_policy="plru", documented_policy="plru",
+          noise_probability=0.01, frequency_ghz=3.4, access_cycles=85.0,
+          measure_cycles=166.0, symbol_overhead_cycles=0.0, l1d_size_kb=32,
+          operating_system="Ubuntu18"),
+    _spec(name="Core i5-11600K", microarchitecture="RocketLake", cache_level="L1D",
+          num_ways=12, hidden_policy="plru", documented_policy="plru",
+          noise_probability=0.01, frequency_ghz=3.9, access_cycles=54.0,
+          measure_cycles=153.0, symbol_overhead_cycles=0.0, l1d_size_kb=48,
+          operating_system="CentOS8"),
+    _spec(name="Xeon W-1350P", microarchitecture="RocketLake", cache_level="L1D",
+          num_ways=12, hidden_policy="plru", documented_policy="plru",
+          noise_probability=0.012, frequency_ghz=4.0, access_cycles=81.0,
+          measure_cycles=256.0, symbol_overhead_cycles=0.0, l1d_size_kb=48,
+          operating_system="Ubuntu20"),
+]
+
+
+MACHINES: Dict[str, MachineSpec] = {spec.key: spec for spec in _TABLE3 + _TABLE10}
+
+TABLE3_MACHINES: List[MachineSpec] = list(_TABLE3)
+TABLE10_MACHINES: List[MachineSpec] = list(_TABLE10)
+
+
+def list_machines() -> List[str]:
+    """Keys of all registered machines ("name:level")."""
+    return sorted(MACHINES)
+
+
+def get_machine(key: str) -> MachineSpec:
+    """Look up a machine by its "name:level" key."""
+    if key not in MACHINES:
+        raise KeyError(f"unknown machine {key!r}; known: {list_machines()}")
+    return MACHINES[key]

@@ -1,0 +1,159 @@
+"""Covert-channel timing model for the real-machine bit-rate experiments.
+
+The paper demonstrates the StealthyStreamline covert channel on four Intel
+machines by embedding the attack sequence into an assembly template and
+measuring bit rate vs. error rate (Table X, Figure 5).  Without the hardware,
+this module models the time and error behaviour of one transmitted symbol:
+
+* every access in the symbol's sequence costs ``access_cycles``;
+* accesses whose latency must be *measured* additionally cost
+  ``measure_cycles`` (timing a load is much more expensive than the load);
+* each symbol pays a fixed synchronization/loop overhead;
+* every measured access misclassifies hit-vs-miss with a noise-dependent
+  probability, producing symbol (and therefore bit) errors.
+
+The StealthyStreamline advantage — measuring only 4 of the W+2 accesses per
+2-bit symbol, versus the LRU address-based channel measuring nearly all of
+them — falls directly out of this model, and grows with associativity, which
+is the paper's central real-machine finding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.machines import MachineSpec
+
+
+@dataclass
+class TimingParameters:
+    """Per-symbol cost model of a covert-channel transmission scheme."""
+
+    bits_per_symbol: int
+    total_accesses: int
+    measured_accesses: int
+
+    def __post_init__(self) -> None:
+        if self.measured_accesses > self.total_accesses:
+            raise ValueError("cannot measure more accesses than are performed")
+        if self.bits_per_symbol < 1:
+            raise ValueError("bits_per_symbol must be >= 1")
+
+    @classmethod
+    def stealthy_streamline(cls, num_ways: int, bits_per_symbol: int = 2) -> "TimingParameters":
+        """StealthyStreamline: W+2 accesses per symbol, only 4 measured."""
+        return cls(bits_per_symbol=bits_per_symbol,
+                   total_accesses=num_ways + 2,
+                   measured_accesses=4)
+
+    @classmethod
+    def lru_address_based(cls, num_ways: int, bits_per_symbol: int = 2) -> "TimingParameters":
+        """LRU address-based channel: W+2 accesses, nearly all of them measured."""
+        return cls(bits_per_symbol=bits_per_symbol,
+                   total_accesses=num_ways + 2,
+                   measured_accesses=max(4, num_ways - 2))
+
+
+@dataclass
+class CovertChannelTimingModel:
+    """Bit-rate and error-rate model of a covert channel on one machine."""
+
+    machine: MachineSpec
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+
+    # ---------------------------------------------------------------- timing
+    def cycles_per_symbol(self, parameters: TimingParameters) -> float:
+        unmeasured = parameters.total_accesses - parameters.measured_accesses
+        return (unmeasured * self.machine.access_cycles
+                + parameters.measured_accesses * (self.machine.access_cycles
+                                                  + self.machine.measure_cycles)
+                + self.machine.symbol_overhead_cycles)
+
+    def bit_rate_mbps(self, parameters: TimingParameters, repetitions: int = 1) -> float:
+        """Raw bit rate in Mbit/s when each symbol is sent ``repetitions`` times."""
+        cycles = self.cycles_per_symbol(parameters) * repetitions
+        seconds_per_symbol = cycles / (self.machine.frequency_ghz * 1e9)
+        return parameters.bits_per_symbol / seconds_per_symbol / 1e6
+
+    # ----------------------------------------------------------------- errors
+    def _measurement_flip_probability(self, noise_scale: float) -> float:
+        return min(0.45, self.machine.noise_probability * noise_scale)
+
+    def symbol_error_probability(self, parameters: TimingParameters,
+                                 repetitions: int = 1, noise_scale: float = 1.0) -> float:
+        """Probability a symbol is decoded incorrectly (with majority voting)."""
+        flip = self._measurement_flip_probability(noise_scale)
+        single = 1.0 - (1.0 - flip) ** parameters.measured_accesses
+        if repetitions <= 1:
+            return single
+        # Majority vote over an odd number of repetitions.
+        votes = repetitions if repetitions % 2 == 1 else repetitions + 1
+        needed = votes // 2 + 1
+        error = 0.0
+        for wrong in range(needed, votes + 1):
+            error += (math.comb(votes, wrong) * single ** wrong
+                      * (1.0 - single) ** (votes - wrong))
+        return float(error)
+
+    def simulate_transmission(self, parameters: TimingParameters, message_bits: int = 2048,
+                              repetitions: int = 1, noise_scale: float = 1.0,
+                              rng: Optional[np.random.Generator] = None) -> dict:
+        """Monte-Carlo transmission of a random message; return bit rate and error rate.
+
+        Mirrors the paper's methodology: send a 2048-bit random string, time
+        it, and compute the Hamming-distance error rate of the received
+        message.
+        """
+        rng = rng or self.rng
+        symbols = int(np.ceil(message_bits / parameters.bits_per_symbol))
+        symbol_error = self.symbol_error_probability(parameters, repetitions=repetitions,
+                                                     noise_scale=noise_scale)
+        errored_symbols = rng.random(symbols) < symbol_error
+        # A wrong symbol corrupts on average half of its bits.
+        bit_errors = 0
+        for wrong in errored_symbols:
+            if wrong:
+                bit_errors += 1 + int(rng.integers(parameters.bits_per_symbol))
+        bit_errors = min(bit_errors, message_bits)
+        cycles = self.cycles_per_symbol(parameters) * repetitions * symbols
+        seconds = cycles / (self.machine.frequency_ghz * 1e9)
+        return {
+            "machine": self.machine.name,
+            "bits_sent": message_bits,
+            "seconds": seconds,
+            "bit_rate_mbps": message_bits / seconds / 1e6,
+            "error_rate": bit_errors / message_bits,
+            "repetitions": repetitions,
+        }
+
+    def bit_rate_error_curve(self, parameters: TimingParameters, message_bits: int = 2048,
+                             noise_scales=(0.5, 1.0, 2.0, 4.0, 8.0),
+                             trials: int = 5) -> list:
+        """Sweep operating points (noise scales) to produce a bit-rate vs error curve.
+
+        Higher noise scales model more aggressive, less calibrated operation;
+        each point is averaged over ``trials`` transmissions, and the spread of
+        the error rate across trials gives the Figure-5 error bars.
+        """
+        curve = []
+        for noise_scale in noise_scales:
+            runs = [self.simulate_transmission(parameters, message_bits=message_bits,
+                                               noise_scale=noise_scale,
+                                               rng=np.random.default_rng(self.seed + trial))
+                    for trial in range(trials)]
+            error_rates = [run["error_rate"] for run in runs]
+            curve.append({
+                "noise_scale": noise_scale,
+                "bit_rate_mbps": float(np.mean([run["bit_rate_mbps"] for run in runs])),
+                "error_rate_mean": float(np.mean(error_rates)),
+                "error_rate_min": float(np.min(error_rates)),
+                "error_rate_max": float(np.max(error_rates)),
+            })
+        return curve

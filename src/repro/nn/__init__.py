@@ -1,0 +1,36 @@
+"""Neural-network layers built on the :mod:`repro.autodiff` engine.
+
+Provides the building blocks used by the AutoCAT policy/value networks: dense
+layers, activations, layer normalization, embeddings, an MLP convenience
+module, and a single-head self-attention sequence encoder standing in for the
+paper's Transformer backbone.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Linear,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    LayerNorm,
+    Embedding,
+    Sequential,
+    MLP,
+)
+from repro.nn.attention import SelfAttentionEncoder
+from repro.nn.distributions import Categorical
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LayerNorm",
+    "Embedding",
+    "Sequential",
+    "MLP",
+    "SelfAttentionEncoder",
+    "Categorical",
+]

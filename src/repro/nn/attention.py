@@ -1,0 +1,57 @@
+"""Single-head self-attention sequence encoder.
+
+The paper uses a 1-layer Transformer encoder (8 heads) followed by average
+pooling over steps as the policy backbone.  This module provides the same
+architecture family at reproduction scale: scaled dot-product self-attention
+over the observation-history window, a position-wise feed-forward block, layer
+norms with residual connections, and average pooling over steps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import LayerNorm, Linear, ReLU, Sequential
+from repro.nn.module import Module
+
+
+class SelfAttentionEncoder(Module):
+    """One encoder block: attention + feed-forward, then mean-pool over steps.
+
+    Input shape: (batch, steps, features); output shape (batch, model_dim).
+    """
+
+    def __init__(self, input_dim: int, model_dim: int = 64, ff_dim: int = 128,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.model_dim = model_dim
+        self.input_projection = Linear(input_dim, model_dim, rng=rng)
+        self.query = Linear(model_dim, model_dim, rng=rng)
+        self.key = Linear(model_dim, model_dim, rng=rng)
+        self.value = Linear(model_dim, model_dim, rng=rng)
+        self.attention_norm = LayerNorm(model_dim)
+        self.feed_forward = Sequential(
+            Linear(model_dim, ff_dim, rng=rng),
+            ReLU(),
+            Linear(ff_dim, model_dim, rng=rng),
+        )
+        self.feed_forward_norm = LayerNorm(model_dim)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.ndim != 3:
+            raise ValueError(f"expected (batch, steps, features), got shape {inputs.shape}")
+        hidden = self.input_projection(inputs)
+        queries = self.query(hidden)
+        keys = self.key(hidden)
+        values = self.value(hidden)
+        scale = 1.0 / np.sqrt(self.model_dim)
+        scores = (queries @ keys.transpose(0, 2, 1)) * scale
+        weights = F.softmax(scores, axis=-1)
+        attended = weights @ values
+        hidden = self.attention_norm(hidden + attended)
+        hidden = self.feed_forward_norm(hidden + self.feed_forward(hidden))
+        return hidden.mean(axis=1)

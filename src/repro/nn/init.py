@@ -1,0 +1,26 @@
+"""Weight-initialization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def orthogonal(shape: tuple, gain: float = 1.0,
+               rng: np.random.Generator | None = None) -> np.ndarray:
+    """Orthogonal initialization, the standard choice for PPO policies."""
+    rng = rng or np.random.default_rng()
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = shape[0], shape[1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)

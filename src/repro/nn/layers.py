@@ -1,0 +1,132 @@
+"""Core neural-network layers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.init import orthogonal
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, gain: float = np.sqrt(2.0),
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(orthogonal((in_features, out_features), gain=gain, rng=rng),
+                                name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias")
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs @ self.weight + self.bias
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features), name="gamma")
+        self.beta = Parameter(np.zeros(features), name="beta")
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        centered = inputs - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps) ** 0.5
+        return normalized * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer indices to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.standard_normal((num_embeddings, embedding_dim)) * 0.02,
+                                name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.weight[indices]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer_{index}", module)
+            self._layers.append(module)
+
+    def forward(self, inputs):
+        output = inputs
+        for layer in self._layers:
+            output = layer(output)
+        return output
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation.
+
+    This is the default backbone for the reproduction's PPO agent (the paper
+    reports the MLP backbone also finds attacks, Sec. VI-B).
+    """
+
+    def __init__(self, input_dim: int, hidden_sizes: Sequence[int], output_dim: int,
+                 activation: str = "tanh", output_gain: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        activations = {"tanh": Tanh, "relu": ReLU, "sigmoid": Sigmoid}
+        if activation not in activations:
+            raise ValueError(f"unknown activation {activation!r}; choose from {sorted(activations)}")
+        layers: List[Module] = []
+        previous = input_dim
+        for hidden in hidden_sizes:
+            layers.append(Linear(previous, hidden, rng=rng))
+            layers.append(activations[activation]())
+            previous = hidden
+        layers.append(Linear(previous, output_dim, gain=output_gain, rng=rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.network(inputs)

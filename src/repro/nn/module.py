@@ -1,0 +1,101 @@
+"""Module/parameter registry, mirroring the familiar torch.nn.Module contract."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a Module."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically, so ``parameters()`` walks the whole model tree.
+    """
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------ parameters
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its children."""
+        found: List[Parameter] = []
+        seen: set = set()
+        for parameter in self._parameters.values():
+            if id(parameter) not in seen:
+                seen.add(id(parameter))
+                found.append(parameter)
+        for module in self._modules.values():
+            for parameter in module.parameters():
+                if id(parameter) not in seen:
+                    seen.add(id(parameter))
+                    found.append(parameter)
+        return found
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple]:
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for child_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        return sum(parameter.size for parameter in self.parameters())
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.grad = None
+
+    # ---------------------------------------------------------------- modes
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    # ------------------------------------------------------------- state I/O
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter name to a copy of its array."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, parameter in own.items():
+            if parameter.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: {parameter.data.shape} vs {state[name].shape}")
+            parameter.data[...] = state[name]
+
+    # ----------------------------------------------------------------- call
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,38 @@
+"""Reinforcement-learning engine: PPO, rollouts, replay, and search baselines.
+
+The paper trains its agent with asynchronous PPO (RLMeta) on GPUs.  This
+reproduction provides a synchronous PPO implementation with the same
+algorithmic ingredients — clipped surrogate objective, GAE(λ) advantages,
+entropy bonus, value-function clipping — on the numpy autodiff stack, plus
+deterministic replay for extracting attack sequences and the search baselines
+discussed in Sec. VI-A.
+"""
+
+from repro.rl.policy import ActorCriticPolicy, PolicyOutput
+from repro.rl.gae import compute_gae
+from repro.rl.buffer import RolloutBuffer, RolloutBatch
+from repro.rl.ppo import PPOConfig, PPOUpdater
+from repro.rl.vec_env import VecEnv
+from repro.rl.trainer import PPOTrainer, TrainingResult
+from repro.rl.replay import extract_attack_sequence, evaluate_policy, AttackExtraction
+from repro.rl.baselines import RandomSearchBaseline, GreedyOneStepBaseline
+from repro.rl.stats import RunningStats
+
+__all__ = [
+    "ActorCriticPolicy",
+    "PolicyOutput",
+    "compute_gae",
+    "RolloutBuffer",
+    "RolloutBatch",
+    "PPOConfig",
+    "PPOUpdater",
+    "VecEnv",
+    "PPOTrainer",
+    "TrainingResult",
+    "extract_attack_sequence",
+    "evaluate_policy",
+    "AttackExtraction",
+    "RandomSearchBaseline",
+    "GreedyOneStepBaseline",
+    "RunningStats",
+]

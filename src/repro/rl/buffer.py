@@ -1,0 +1,91 @@
+"""Rollout storage for on-policy PPO training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.rl.gae import compute_gae
+
+
+@dataclass
+class RolloutBatch:
+    """One minibatch of flattened transitions for a PPO update."""
+
+    observations: np.ndarray
+    actions: np.ndarray
+    old_log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
+    old_values: np.ndarray
+
+
+class RolloutBuffer:
+    """Fixed-horizon rollout buffer over a vector of environments."""
+
+    def __init__(self, horizon: int, num_envs: int, observation_size: int):
+        self.horizon = horizon
+        self.num_envs = num_envs
+        self.observation_size = observation_size
+        self.reset()
+
+    def reset(self) -> None:
+        shape = (self.horizon, self.num_envs)
+        self.observations = np.zeros(shape + (self.observation_size,), dtype=np.float64)
+        self.actions = np.zeros(shape, dtype=np.int64)
+        self.rewards = np.zeros(shape, dtype=np.float64)
+        self.dones = np.zeros(shape, dtype=np.float64)
+        self.values = np.zeros(shape, dtype=np.float64)
+        self.log_probs = np.zeros(shape, dtype=np.float64)
+        self.advantages: Optional[np.ndarray] = None
+        self.returns: Optional[np.ndarray] = None
+        self.position = 0
+
+    @property
+    def full(self) -> bool:
+        return self.position >= self.horizon
+
+    def add(self, observations: np.ndarray, actions: np.ndarray, rewards: np.ndarray,
+            dones: np.ndarray, values: np.ndarray, log_probs: np.ndarray) -> None:
+        if self.full:
+            raise RuntimeError("rollout buffer is full; call reset() first")
+        index = self.position
+        self.observations[index] = observations
+        self.actions[index] = actions
+        self.rewards[index] = rewards
+        self.dones[index] = dones
+        self.values[index] = values
+        self.log_probs[index] = log_probs
+        self.position += 1
+
+    def finalize(self, last_values: np.ndarray, gamma: float, lam: float) -> None:
+        """Compute GAE advantages and returns after the rollout is collected."""
+        if not self.full:
+            raise RuntimeError("cannot finalize a partially-filled buffer")
+        self.advantages, self.returns = compute_gae(
+            self.rewards, self.values, self.dones, last_values, gamma=gamma, lam=lam)
+
+    def iter_minibatches(self, batch_size: int,
+                         rng: Optional[np.random.Generator] = None,
+                         normalize_advantages: bool = True) -> Iterator[RolloutBatch]:
+        """Yield shuffled minibatches of flattened transitions."""
+        if self.advantages is None or self.returns is None:
+            raise RuntimeError("finalize() must be called before iterating minibatches")
+        rng = rng or np.random.default_rng()
+        total = self.horizon * self.num_envs
+        observations = self.observations.reshape(total, self.observation_size)
+        actions = self.actions.reshape(total)
+        log_probs = self.log_probs.reshape(total)
+        advantages = self.advantages.reshape(total)
+        returns = self.returns.reshape(total)
+        values = self.values.reshape(total)
+        if normalize_advantages:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        order = rng.permutation(total)
+        for start in range(0, total, batch_size):
+            index = order[start:start + batch_size]
+            yield RolloutBatch(observations=observations[index], actions=actions[index],
+                               old_log_probs=log_probs[index], advantages=advantages[index],
+                               returns=returns[index], old_values=values[index])

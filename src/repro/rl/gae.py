@@ -1,0 +1,35 @@
+"""Generalized Advantage Estimation (Schulman et al., 2016)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
+                last_values: np.ndarray, gamma: float = 0.99,
+                lam: float = 0.95) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute GAE advantages and discounted returns.
+
+    All inputs are shaped (steps, num_envs).  ``dones[t, e]`` marks that the
+    episode in env ``e`` terminated *at* step ``t`` (so no bootstrapping across
+    it).  ``last_values`` has shape (num_envs,) and bootstraps the final step.
+    Returns (advantages, returns), both (steps, num_envs).
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=np.float64)
+    last_values = np.asarray(last_values, dtype=np.float64)
+    steps, num_envs = rewards.shape
+    advantages = np.zeros((steps, num_envs), dtype=np.float64)
+    next_advantage = np.zeros(num_envs, dtype=np.float64)
+    next_values = last_values
+    for step in reversed(range(steps)):
+        non_terminal = 1.0 - dones[step]
+        delta = rewards[step] + gamma * next_values * non_terminal - values[step]
+        next_advantage = delta + gamma * lam * non_terminal * next_advantage
+        advantages[step] = next_advantage
+        next_values = values[step]
+    returns = advantages + values
+    return advantages, returns

@@ -1,0 +1,103 @@
+"""Actor-critic policy networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import no_grad
+from repro.autodiff.tensor import Tensor
+from repro.nn import MLP, Categorical, Linear, Module, SelfAttentionEncoder, Sequential, Tanh
+
+
+@dataclass
+class PolicyOutput:
+    """Result of acting on a batch of observations (numpy, no graph attached)."""
+
+    actions: np.ndarray
+    log_probs: np.ndarray
+    values: np.ndarray
+
+
+class ActorCriticPolicy(Module):
+    """Shared-backbone actor-critic over flat window observations.
+
+    ``backbone`` selects between the default MLP and the attention encoder
+    standing in for the paper's Transformer (both operate on the same
+    windowed observation; the attention variant reshapes it to
+    (window, features)).
+    """
+
+    def __init__(self, observation_size: int, num_actions: int,
+                 hidden_sizes: Sequence[int] = (128, 128), backbone: str = "mlp",
+                 window_shape: Optional[tuple] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.observation_size = observation_size
+        self.num_actions = num_actions
+        self.backbone_kind = backbone
+        self.window_shape = window_shape
+        rng = rng or np.random.default_rng(0)
+        if backbone == "mlp":
+            feature_dim = hidden_sizes[-1]
+            self.feature_extractor = Sequential(
+                MLP(observation_size, hidden_sizes[:-1], feature_dim, rng=rng), Tanh())
+        elif backbone == "attention":
+            if window_shape is None:
+                raise ValueError("attention backbone requires window_shape=(window, features)")
+            feature_dim = hidden_sizes[-1]
+            self.feature_extractor = SelfAttentionEncoder(window_shape[1], model_dim=feature_dim,
+                                                          rng=rng)
+        else:
+            raise ValueError(f"unknown backbone {backbone!r}")
+        self.policy_head = Linear(feature_dim, num_actions, gain=0.01, rng=rng)
+        self.value_head = Linear(feature_dim, 1, gain=1.0, rng=rng)
+
+    # ----------------------------------------------------------------- graph
+    def _features(self, observations: Tensor) -> Tensor:
+        if self.backbone_kind == "attention":
+            batch = observations.shape[0]
+            window, features = self.window_shape
+            observations = observations.reshape(batch, window, features)
+        return self.feature_extractor(observations)
+
+    def forward(self, observations: Tensor) -> tuple:
+        """Return (logits, values) with gradients attached."""
+        features = self._features(observations)
+        logits = self.policy_head(features)
+        values = self.value_head(features).reshape(-1)
+        return logits, values
+
+    def distribution(self, observations: Tensor) -> tuple:
+        logits, values = self.forward(observations)
+        return Categorical(logits), values
+
+    # ----------------------------------------------------------------- acting
+    def act(self, observations: np.ndarray, rng: Optional[np.random.Generator] = None,
+            deterministic: bool = False) -> PolicyOutput:
+        """Sample (or argmax) actions for a batch of observations, without a graph."""
+        observations = np.atleast_2d(np.asarray(observations, dtype=np.float64))
+        with no_grad():
+            distribution, values = self.distribution(Tensor(observations))
+            if deterministic:
+                actions = distribution.mode()
+            else:
+                actions = distribution.sample(rng=rng)
+            log_probs = distribution.log_prob(actions).numpy()
+        return PolicyOutput(actions=actions, log_probs=np.asarray(log_probs),
+                            values=values.numpy().copy())
+
+    def value(self, observations: np.ndarray) -> np.ndarray:
+        observations = np.atleast_2d(np.asarray(observations, dtype=np.float64))
+        with no_grad():
+            _, values = self.forward(Tensor(observations))
+        return values.numpy().copy()
+
+    def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """Probability of each action for a single observation (analysis helper)."""
+        observation = np.atleast_2d(np.asarray(observation, dtype=np.float64))
+        with no_grad():
+            distribution, _ = self.distribution(Tensor(observation))
+        return distribution.probs[0]

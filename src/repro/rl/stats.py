@@ -1,0 +1,61 @@
+"""Training statistics helpers."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+
+class RunningStats:
+    """Windowed running statistics over a stream of scalars."""
+
+    def __init__(self, window: int = 100):
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def add(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return float(np.mean(self._values))
+
+    @property
+    def std(self) -> float:
+        if not self._values:
+            return 0.0
+        return float(np.std(self._values))
+
+    @property
+    def last(self) -> Optional[float]:
+        return self._values[-1] if self._values else None
+
+
+@dataclass
+class TrainingHistory:
+    """Per-update metric history collected during training."""
+
+    updates: List[Dict[str, float]] = field(default_factory=list)
+
+    def record(self, metrics: Dict[str, float]) -> None:
+        self.updates.append(dict(metrics))
+
+    def series(self, key: str) -> List[float]:
+        return [update[key] for update in self.updates if key in update]
+
+    def last(self, key: str, default: float = 0.0) -> float:
+        values = self.series(key)
+        return values[-1] if values else default

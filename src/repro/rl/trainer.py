@@ -1,0 +1,152 @@
+"""Synchronous PPO trainer for the cache guessing game."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.ppo import PPOConfig, PPOUpdater
+from repro.rl.replay import AttackExtraction, evaluate_policy, extract_attack_sequence
+from repro.rl.stats import RunningStats, TrainingHistory
+from repro.rl.vec_env import VecEnv
+
+# The paper reports training time in epochs of 3000 training steps (Table V).
+STEPS_PER_EPOCH = 3000
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run."""
+
+    converged: bool
+    env_steps: int
+    updates: int
+    epochs_to_converge: Optional[float]
+    final_accuracy: float
+    final_guess_rate: float
+    final_episode_length: float
+    final_episode_reward: float
+    wall_time_seconds: float
+    history: TrainingHistory = field(default_factory=TrainingHistory)
+    extraction: Optional[AttackExtraction] = None
+
+    @property
+    def epochs_trained(self) -> float:
+        return self.env_steps / STEPS_PER_EPOCH
+
+
+class PPOTrainer:
+    """Collect rollouts from a vector of guessing-game envs and run PPO updates."""
+
+    def __init__(self, env_factory: Callable[[int], object],
+                 ppo_config: Optional[PPOConfig] = None,
+                 hidden_sizes=(128, 128), backbone: str = "mlp", seed: int = 0):
+        self.config = ppo_config or PPOConfig()
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.vec_env = VecEnv(env_factory, self.config.num_envs)
+        self.eval_env = env_factory(1_000_000 + seed)
+        window_shape = (self.eval_env.encoder.window_size, self.eval_env.encoder.step_features)
+        self.policy = ActorCriticPolicy(self.vec_env.observation_size,
+                                        self.vec_env.num_actions,
+                                        hidden_sizes=hidden_sizes, backbone=backbone,
+                                        window_shape=window_shape,
+                                        rng=np.random.default_rng(seed))
+        self.updater = PPOUpdater(self.policy, self.config, rng=self.rng)
+        self.env_steps = 0
+        self.updates_done = 0
+        self.history = TrainingHistory()
+        self._episode_rewards = RunningStats(window=200)
+        self._episode_lengths = RunningStats(window=200)
+        self._episode_correct = RunningStats(window=200)
+
+    # ---------------------------------------------------------------- rollout
+    def _collect_rollout(self, observations: np.ndarray) -> tuple:
+        config = self.config
+        buffer = RolloutBuffer(config.horizon, config.num_envs, self.vec_env.observation_size)
+        for _ in range(config.horizon):
+            output = self.policy.act(observations, rng=self.rng)
+            next_observations, rewards, dones, infos = self.vec_env.step(output.actions)
+            buffer.add(observations, output.actions, rewards, dones, output.values,
+                       output.log_probs)
+            for info in infos:
+                episode = info.get("episode")
+                if episode:
+                    self._episode_rewards.add(episode["reward"])
+                    self._episode_lengths.add(episode["length"])
+                    self._episode_correct.add(1.0 if episode["correct"] else 0.0)
+            observations = next_observations
+            self.env_steps += config.num_envs
+        last_values = self.policy.value(observations)
+        buffer.finalize(last_values, gamma=config.gamma, lam=config.gae_lambda)
+        return buffer, observations
+
+    # ------------------------------------------------------------------ train
+    def train(self, max_updates: int = 100, target_accuracy: float = 0.95,
+              eval_every: int = 5, eval_episodes: int = 30,
+              max_env_steps: Optional[int] = None,
+              extract_on_success: bool = True) -> TrainingResult:
+        """Train until evaluation accuracy reaches the target or the budget runs out."""
+        start = time.time()
+        observations = self.vec_env.reset()
+        converged = False
+        epochs_to_converge: Optional[float] = None
+        evaluation: Dict[str, float] = {"accuracy": 0.0, "guess_rate": 0.0,
+                                        "mean_episode_length": 0.0,
+                                        "mean_episode_reward": 0.0}
+        for update in range(1, max_updates + 1):
+            buffer, observations = self._collect_rollout(observations)
+            self.updater.set_progress(update / max_updates)
+            metrics = self.updater.update(buffer)
+            self.updates_done += 1
+            metrics.update({
+                "update": update,
+                "env_steps": self.env_steps,
+                "rollout_reward": self._episode_rewards.mean,
+                "rollout_length": self._episode_lengths.mean,
+                "rollout_accuracy": self._episode_correct.mean,
+            })
+            self.history.record(metrics)
+            if update % eval_every == 0 or update == max_updates:
+                evaluation = evaluate_policy(self.eval_env, self.policy,
+                                             episodes=eval_episodes, seed=self.seed + update)
+                self.history.record({"update": update, **{f"eval_{k}": v
+                                                          for k, v in evaluation.items()}})
+                if (evaluation["accuracy"] >= target_accuracy
+                        and evaluation["guess_rate"] >= target_accuracy):
+                    converged = True
+                    epochs_to_converge = self.env_steps / STEPS_PER_EPOCH
+                    break
+            if max_env_steps is not None and self.env_steps >= max_env_steps:
+                break
+
+        extraction = None
+        if extract_on_success and converged:
+            extraction = extract_attack_sequence(self.eval_env, self.policy,
+                                                 seed=self.seed)
+        return TrainingResult(
+            converged=converged,
+            env_steps=self.env_steps,
+            updates=self.updates_done,
+            epochs_to_converge=epochs_to_converge,
+            final_accuracy=evaluation["accuracy"],
+            final_guess_rate=evaluation["guess_rate"],
+            final_episode_length=evaluation["mean_episode_length"],
+            final_episode_reward=evaluation["mean_episode_reward"],
+            wall_time_seconds=time.time() - start,
+            history=self.history,
+            extraction=extraction,
+        )
+
+    # --------------------------------------------------------------- analysis
+    def evaluate(self, episodes: int = 100, deterministic: bool = True) -> Dict[str, float]:
+        return evaluate_policy(self.eval_env, self.policy, episodes=episodes,
+                               deterministic=deterministic, seed=self.seed + 7)
+
+    def extract(self) -> AttackExtraction:
+        return extract_attack_sequence(self.eval_env, self.policy, seed=self.seed)

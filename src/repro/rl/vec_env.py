@@ -1,0 +1,70 @@
+"""A simple synchronous vector of environments.
+
+Batching several environment copies lets the numpy policy amortize its forward
+pass, standing in for the asynchronous actor pool the paper uses (RLMeta /
+Sample Factory style).  Environments auto-reset when their episode ends, and
+episode summaries are surfaced so the trainer can track accuracy and length.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+
+class VecEnv:
+    """Synchronous vectorized environment with auto-reset."""
+
+    def __init__(self, env_factory: Callable[[int], object], num_envs: int):
+        if num_envs < 1:
+            raise ValueError("num_envs must be >= 1")
+        self.envs = [env_factory(index) for index in range(num_envs)]
+        self.num_envs = num_envs
+        first = self.envs[0]
+        self.observation_size = first.observation_size
+        self.num_actions = first.action_space.n
+        self._episode_rewards = np.zeros(num_envs)
+        self._episode_lengths = np.zeros(num_envs, dtype=np.int64)
+
+    def reset(self) -> np.ndarray:
+        self._episode_rewards[:] = 0.0
+        self._episode_lengths[:] = 0
+        return np.stack([env.reset() for env in self.envs], axis=0)
+
+    def step(self, actions: np.ndarray) -> tuple:
+        """Step every env; auto-reset finished ones.
+
+        Returns (observations, rewards, dones, infos) where ``infos`` is a
+        list of per-env dicts; finished episodes include an ``"episode"``
+        entry with total reward, length, and guess correctness.
+        """
+        observations = np.zeros((self.num_envs, self.observation_size))
+        rewards = np.zeros(self.num_envs)
+        dones = np.zeros(self.num_envs)
+        infos: List[Dict] = []
+        for index, (env, action) in enumerate(zip(self.envs, actions)):
+            observation, reward, done, info = env.step(int(action))
+            self._episode_rewards[index] += reward
+            self._episode_lengths[index] += 1
+            if done:
+                info = dict(info)
+                info["episode"] = {
+                    "reward": float(self._episode_rewards[index]),
+                    "length": int(self._episode_lengths[index]),
+                    "correct": bool(info.get("correct", False)),
+                    "guessed": "correct" in info,
+                }
+                self._episode_rewards[index] = 0.0
+                self._episode_lengths[index] = 0
+                observation = env.reset()
+            observations[index] = observation
+            rewards[index] = reward
+            dones[index] = float(done)
+            infos.append(info)
+        return observations, rewards, dones, infos
+
+    @property
+    def single_env(self):
+        """The first underlying environment (used for replay/extraction)."""
+        return self.envs[0]

@@ -1,0 +1,249 @@
+"""Tests for the attack library: sequences, textbook attacks, channels, Spectre."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackCategory,
+    AttackSequence,
+    LRUAddressBasedChannel,
+    SpectreV1Victim,
+    StealthyStreamlineChannel,
+    StreamlineChannel,
+    TextbookPrimeProbeAttacker,
+    distinguishing_accuracy,
+    evaluate_action_sequence,
+    evict_reload_sequence,
+    flush_reload_sequence,
+    lru_address_based_sequence,
+    lru_set_based_sequence,
+    prime_probe_sequence,
+    run_scripted_attacker,
+    run_spectre_demo,
+    textbook_attack_for_config,
+)
+from repro.attacks.stealthy_streamline import stealthy_streamline_sequence
+from repro.cache.config import CacheConfig
+from repro.env.config import EnvConfig
+from repro.env.covert_env import MultiGuessCovertEnv
+from repro.env.guessing_game import CacheGuessingGameEnv
+
+
+class TestAttackSequence:
+    def test_from_labels_roundtrip(self):
+        sequence = AttackSequence.from_labels(["3", "f2", "v", "g0"])
+        assert sequence.render() == "3 -> f2 -> v -> g0"
+        assert sequence.uses_flush
+        assert sequence.trigger_count == 1
+        assert sequence.accessed_addresses == [3]
+
+    def test_guess_empty_label(self):
+        sequence = AttackSequence.from_labels(["v", "gE"])
+        assert str(sequence.actions[-1]) == "gE"
+
+    def test_to_indices(self, prime_probe_env_config):
+        env = CacheGuessingGameEnv(prime_probe_env_config)
+        sequence = prime_probe_sequence(prime_probe_env_config)
+        indices = sequence.to_indices(env.actions)
+        assert len(indices) == len(sequence)
+        assert all(0 <= index < env.action_space.n for index in indices)
+
+
+class TestTextbookAttacks:
+    def test_prime_probe_accuracy(self, prime_probe_env_config):
+        env = CacheGuessingGameEnv(prime_probe_env_config)
+        sequence = prime_probe_sequence(prime_probe_env_config)
+        accuracy, _ = evaluate_action_sequence(env, sequence.to_indices(env.actions), trials=2)
+        assert accuracy == 1.0
+
+    def test_flush_reload_accuracy(self):
+        config = EnvConfig(cache=CacheConfig.direct_mapped(4), attacker_addr_s=0,
+                           attacker_addr_e=3, victim_addr_s=0, victim_addr_e=3,
+                           victim_no_access_enable=False, flush_enable=True,
+                           window_size=24, warmup_accesses=0)
+        env = CacheGuessingGameEnv(config)
+        sequence = flush_reload_sequence(config)
+        accuracy, _ = evaluate_action_sequence(env, sequence.to_indices(env.actions), trials=2)
+        assert accuracy == 1.0
+
+    def test_evict_reload_accuracy(self):
+        config = EnvConfig(cache=CacheConfig.direct_mapped(4), attacker_addr_s=0,
+                           attacker_addr_e=7, victim_addr_s=0, victim_addr_e=3,
+                           victim_no_access_enable=False, window_size=32, warmup_accesses=0)
+        env = CacheGuessingGameEnv(config)
+        sequence = evict_reload_sequence(config)
+        accuracy, _ = evaluate_action_sequence(env, sequence.to_indices(env.actions), trials=2)
+        assert accuracy == 1.0
+
+    def test_lru_address_based_accuracy(self):
+        config = EnvConfig(cache=CacheConfig.fully_associative(4), attacker_addr_s=0,
+                           attacker_addr_e=4, victim_addr_s=0, victim_addr_e=0,
+                           victim_no_access_enable=True, window_size=16, warmup_accesses=0)
+        env = CacheGuessingGameEnv(config)
+        sequence = lru_address_based_sequence(config)
+        accuracy, _ = evaluate_action_sequence(env, sequence.to_indices(env.actions), trials=2)
+        assert accuracy == 1.0
+
+    def test_lru_set_based_sequence_structure(self):
+        config = EnvConfig(cache=CacheConfig.fully_associative(4), attacker_addr_s=1,
+                           attacker_addr_e=5, victim_addr_s=0, victim_addr_e=0,
+                           victim_no_access_enable=True, warmup_accesses=0)
+        sequence = lru_set_based_sequence(config)
+        assert sequence.category is AttackCategory.LRU_STATE
+        assert sequence.trigger_count == 1
+
+    def test_flush_reload_requires_sharing_and_flush(self, prime_probe_env_config):
+        with pytest.raises(ValueError):
+            flush_reload_sequence(prime_probe_env_config)
+
+    def test_evict_reload_requires_extra_addresses(self):
+        config = EnvConfig(cache=CacheConfig.direct_mapped(4), attacker_addr_s=0,
+                           attacker_addr_e=3, victim_addr_s=0, victim_addr_e=3,
+                           victim_no_access_enable=False, warmup_accesses=0)
+        with pytest.raises(ValueError):
+            evict_reload_sequence(config)
+
+    def test_textbook_selector_prefers_flush_reload(self):
+        config = EnvConfig(cache=CacheConfig.direct_mapped(4), attacker_addr_s=0,
+                           attacker_addr_e=3, victim_addr_s=0, victim_addr_e=3,
+                           victim_no_access_enable=False, flush_enable=True,
+                           warmup_accesses=0)
+        assert textbook_attack_for_config(config).category is AttackCategory.FLUSH_RELOAD
+
+    def test_textbook_selector_falls_back_to_prime_probe(self, prime_probe_env_config):
+        assert (textbook_attack_for_config(prime_probe_env_config).category
+                is AttackCategory.PRIME_PROBE)
+
+    def test_stealthy_streamline_sequence_structure(self):
+        config = EnvConfig(cache=CacheConfig.fully_associative(4), attacker_addr_s=0,
+                           attacker_addr_e=5, victim_addr_s=0, victim_addr_e=3,
+                           victim_no_access_enable=False, warmup_accesses=0)
+        sequence = stealthy_streamline_sequence(config)
+        assert sequence.category is AttackCategory.STEALTHY_STREAMLINE
+        assert sequence.trigger_count == 1
+
+
+class TestEvaluation:
+    def test_distinguishing_accuracy_perfect(self):
+        signatures = {0: [(True,)], 1: [(False,)]}
+        assert distinguishing_accuracy(signatures) == 1.0
+
+    def test_distinguishing_accuracy_chance(self):
+        signatures = {0: [(True,)], 1: [(True,)]}
+        assert distinguishing_accuracy(signatures) == 0.5
+
+    def test_distinguishing_accuracy_empty(self):
+        assert distinguishing_accuracy({}) == 0.0
+
+    def test_empty_sequence_gives_chance_accuracy(self, prime_probe_env_config):
+        env = CacheGuessingGameEnv(prime_probe_env_config)
+        accuracy, steps = evaluate_action_sequence(env, [], trials=1)
+        assert accuracy == pytest.approx(1.0 / 4.0)
+        assert steps == 0
+
+
+class TestCovertChannels:
+    @pytest.mark.parametrize("channel_cls", [LRUAddressBasedChannel, StealthyStreamlineChannel,
+                                             StreamlineChannel])
+    def test_error_free_on_lru_simulator(self, channel_cls):
+        channel = channel_cls(num_ways=8, seed=0)
+        message = channel.random_message(256)
+        result = channel.transmit(message)
+        assert result.error_rate == 0.0
+        assert result.received_bits == message
+
+    def test_lru_address_based_is_stealthy(self):
+        result = LRUAddressBasedChannel(num_ways=8).transmit([1, 0, 1, 1, 0, 0] * 10)
+        assert result.stealthy
+        assert result.sender_misses == 0
+
+    def test_stealthy_streamline_is_stealthy(self):
+        result = StealthyStreamlineChannel(num_ways=8).transmit([1, 0] * 64)
+        assert result.stealthy
+
+    def test_streamline_is_not_stealthy(self):
+        result = StreamlineChannel(num_ways=8).transmit([1, 0] * 64)
+        assert not result.stealthy
+        assert result.sender_misses > 0
+
+    def test_stealthy_streamline_has_higher_rate_than_lru(self):
+        message = [1, 0, 1, 1] * 64
+        lru = LRUAddressBasedChannel(num_ways=8).transmit(message)
+        stealthy = StealthyStreamlineChannel(num_ways=8).transmit(message)
+        assert stealthy.bits_per_access > lru.bits_per_access
+        assert stealthy.measured_fraction < 0.5
+
+    def test_advantage_grows_with_associativity(self):
+        message = [0, 1] * 64
+        ratios = []
+        for ways in (8, 12):
+            lru = LRUAddressBasedChannel(num_ways=ways).transmit(message)
+            stealthy = StealthyStreamlineChannel(num_ways=ways).transmit(message)
+            ratios.append(stealthy.bits_per_access / lru.bits_per_access)
+        assert ratios[1] > ratios[0]
+
+    def test_stealthy_streamline_on_plru_mostly_correct(self):
+        channel = StealthyStreamlineChannel(num_ways=8, rep_policy="plru", seed=0)
+        message = channel.random_message(256)
+        result = channel.transmit(message)
+        assert result.error_rate < 0.3
+
+    def test_stealthy_streamline_requires_eight_ways(self):
+        with pytest.raises(ValueError):
+            StealthyStreamlineChannel(num_ways=4)
+
+    def test_transmission_result_properties(self):
+        channel = LRUAddressBasedChannel(num_ways=8)
+        result = channel.transmit([1, 0, 1])
+        assert result.symbols == 3
+        assert len(result.received_bits) == 3
+        assert 0.0 <= result.measured_fraction <= 1.0
+
+    def test_odd_length_messages_are_padded_internally(self):
+        channel = StealthyStreamlineChannel(num_ways=8)
+        result = channel.transmit([1, 0, 1])
+        assert len(result.received_bits) == 3
+        assert result.error_rate == 0.0
+
+
+class TestScriptedAttacker:
+    def _covert_env(self, num_sets=4, episode_length=80):
+        config = EnvConfig(cache=CacheConfig.direct_mapped(num_sets),
+                           attacker_addr_s=num_sets, attacker_addr_e=2 * num_sets - 1,
+                           victim_addr_s=0, victim_addr_e=num_sets - 1,
+                           victim_no_access_enable=False, window_size=4 * num_sets,
+                           warmup_accesses=0, seed=0)
+        return MultiGuessCovertEnv(config, episode_length=episode_length)
+
+    def test_textbook_attacker_is_accurate(self):
+        env = self._covert_env()
+        stats = run_scripted_attacker(env, TextbookPrimeProbeAttacker(env), episodes=2)
+        assert stats["guess_accuracy"] > 0.95
+        assert stats["bit_rate"] > 0.05
+
+    def test_textbook_attacker_has_high_autocorrelation(self):
+        env = self._covert_env()
+        stats = run_scripted_attacker(env, TextbookPrimeProbeAttacker(env), episodes=2)
+        assert stats["max_autocorrelation"] > 0.75
+
+    def test_traces_contain_both_domains(self):
+        env = self._covert_env(num_sets=2, episode_length=40)
+        stats = run_scripted_attacker(env, TextbookPrimeProbeAttacker(env), episodes=1)
+        domains = {domain for trace in stats["traces"] for domain, _ in trace}
+        assert domains == {"attacker", "victim"}
+
+
+class TestSpectre:
+    def test_speculative_read_leaks_secret(self):
+        victim = SpectreV1Victim(secret=b"AB", bounds=4)
+        assert victim.speculative_read(4) == ord("A")
+        assert victim.speculative_read(5) == ord("B")
+        assert victim.architectural_read(4) == 0
+        assert victim.speculative_read(1) == victim.architectural_read(1)
+        assert victim.speculative_read(100) is None
+
+    def test_demo_recovers_secret_through_channel(self):
+        outcome = run_spectre_demo(secret=b"CAT")
+        assert outcome["recovered"] == b"CAT"
+        assert outcome["byte_accuracy"] == 1.0
+        assert outcome["stealthy"]

@@ -1,0 +1,353 @@
+"""Tests for the cache model, mappings, prefetchers, PL cache, hierarchy, events."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    Cache,
+    CacheConfig,
+    ModuloMapping,
+    NextLinePrefetcher,
+    PLCache,
+    RandomPermutationMapping,
+    StreamPrefetcher,
+    TwoLevelCache,
+    make_mapping,
+    make_prefetcher,
+)
+from repro.cache.block import CacheBlock
+from repro.cache.events import ConflictEvent, EventLog
+
+
+class TestCacheConfig:
+    def test_num_blocks(self):
+        assert CacheConfig(num_sets=4, num_ways=2).num_blocks == 8
+
+    def test_constructors(self):
+        assert CacheConfig.direct_mapped(8).is_direct_mapped
+        assert CacheConfig.fully_associative(4).is_fully_associative
+        config = CacheConfig.set_associative(4, 2)
+        assert (config.num_sets, config.num_ways) == (4, 2)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(num_sets=0)
+        with pytest.raises(ValueError):
+            CacheConfig(num_ways=0)
+        with pytest.raises(ValueError):
+            CacheConfig(hit_latency=50, miss_latency=40)
+
+
+class TestCacheBlock:
+    def test_fill_and_match(self):
+        block = CacheBlock()
+        block.fill(tag=3, address=12, domain="victim")
+        assert block.matches(3)
+        assert not block.matches(4)
+        assert block.domain == "victim"
+
+    def test_invalidate(self):
+        block = CacheBlock()
+        block.fill(tag=1, address=1, domain=None)
+        block.invalidate()
+        assert not block.valid
+        assert not block.matches(1)
+
+
+class TestCacheBasics:
+    def test_first_access_misses_second_hits(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        assert not cache.access(0).hit
+        assert cache.access(0).hit
+
+    def test_latencies(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        miss = cache.access(0)
+        hit = cache.access(0)
+        assert miss.latency == fa4_lru_config.miss_latency
+        assert hit.latency == fa4_lru_config.hit_latency
+
+    def test_eviction_on_capacity(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        for address in range(4):
+            cache.access(address)
+        result = cache.access(4)
+        assert result.evicted_address == 0
+        assert not cache.contains(0)
+        assert cache.contains(4)
+
+    def test_contents_sorted(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        for address in (3, 1, 2):
+            cache.access(address)
+        assert cache.contents() == [1, 2, 3]
+
+    def test_direct_mapped_conflict(self, dm4_config):
+        cache = Cache(dm4_config)
+        cache.access(0)
+        result = cache.access(4)  # same set as 0
+        assert result.evicted_address == 0
+
+    def test_flush(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        cache.access(2)
+        assert cache.flush(2)
+        assert not cache.contains(2)
+        assert not cache.flush(2)
+
+    def test_lookup_has_no_side_effects(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        cache.access(1)
+        accesses_before = cache.access_count
+        assert cache.lookup(1) is not None
+        assert cache.lookup(9) is None
+        assert cache.access_count == accesses_before
+
+    def test_hit_rate(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert np.isclose(cache.hit_rate, 2.0 / 3.0)
+
+    def test_reset_clears_everything(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        cache.access(0, domain="attacker")
+        cache.reset()
+        assert cache.contents() == []
+        assert cache.access_count == 0
+        assert cache.events.total_accesses == 0
+
+    def test_warm_up(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        cache.warm_up([0, 1, 2])
+        assert cache.contents() == [0, 1, 2]
+
+    def test_negative_address_rejected(self, fa4_lru_config):
+        with pytest.raises(ValueError):
+            Cache(fa4_lru_config).access(-1)
+
+    def test_write_sets_dirty(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        cache.access(0, write=True)
+        way = cache.lookup(0)
+        assert cache.sets[0][way].dirty
+
+    def test_lock_requires_lockable_config(self, fa4_lru_config):
+        with pytest.raises(RuntimeError):
+            Cache(fa4_lru_config).lock(0)
+
+    def test_replacement_state_snapshot(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        cache.access(0)
+        assert len(cache.replacement_state(0)) == 4
+
+
+class TestMappings:
+    def test_modulo(self):
+        mapping = ModuloMapping(4)
+        assert mapping.set_index(5) == 1
+        assert mapping.tag(5) == 1
+        assert mapping.locate(5) == (1, 1)
+
+    def test_random_permutation_is_deterministic(self):
+        a = RandomPermutationMapping(8, seed=3)
+        b = RandomPermutationMapping(8, seed=3)
+        assert [a.set_index(i) for i in range(32)] == [b.set_index(i) for i in range(32)]
+
+    def test_random_permutation_in_range(self):
+        mapping = RandomPermutationMapping(8, seed=1)
+        assert all(0 <= mapping.set_index(i) < 8 for i in range(100))
+
+    def test_different_seeds_differ(self):
+        a = RandomPermutationMapping(16, seed=0)
+        b = RandomPermutationMapping(16, seed=1)
+        assert [a.set_index(i) for i in range(64)] != [b.set_index(i) for i in range(64)]
+
+    def test_factory(self):
+        assert isinstance(make_mapping("modulo", 4), ModuloMapping)
+        assert isinstance(make_mapping("random", 4, seed=2), RandomPermutationMapping)
+        with pytest.raises(ValueError):
+            make_mapping("hash", 4)
+
+    def test_cache_with_random_mapping_still_functions(self):
+        config = CacheConfig(num_sets=4, num_ways=2, mapping="random", mapping_seed=5)
+        cache = Cache(config)
+        cache.access(0)
+        assert cache.access(0).hit
+
+
+class TestPrefetchers:
+    def test_nextline_prefetches_next_address(self):
+        prefetcher = NextLinePrefetcher()
+        assert prefetcher.prefetch_targets(5, hit=False) == [6]
+
+    def test_nextline_wrap(self):
+        prefetcher = NextLinePrefetcher(wrap=8)
+        assert prefetcher.prefetch_targets(7, hit=True) == [0]
+
+    def test_stream_requires_constant_stride(self):
+        prefetcher = StreamPrefetcher(trigger=3)
+        assert prefetcher.prefetch_targets(0, True) == []
+        assert prefetcher.prefetch_targets(2, True) == []
+        assert prefetcher.prefetch_targets(4, True) == [6]
+
+    def test_stream_resets_on_stride_change(self):
+        prefetcher = StreamPrefetcher(trigger=3)
+        prefetcher.prefetch_targets(0, True)
+        prefetcher.prefetch_targets(2, True)
+        assert prefetcher.prefetch_targets(7, True) == []
+
+    def test_cache_with_nextline_prefetcher_installs_neighbor(self):
+        config = CacheConfig.direct_mapped(4, prefetcher="nextline")
+        cache = Cache(config)
+        result = cache.access(1)
+        assert result.prefetched == [2]
+        assert cache.contains(2)
+
+    def test_factory(self):
+        assert make_prefetcher(None) is None
+        assert make_prefetcher("none") is None
+        assert isinstance(make_prefetcher("stream"), StreamPrefetcher)
+        with pytest.raises(ValueError):
+            make_prefetcher("markov")
+
+    def test_stream_trigger_validation(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(trigger=1)
+
+
+class TestPLCache:
+    def _plcache(self, ways=4):
+        return PLCache(CacheConfig.fully_associative(ways, lockable=True))
+
+    def test_locked_line_never_evicted(self):
+        cache = self._plcache()
+        cache.preload_locked([0])
+        for address in range(1, 10):
+            cache.access(address, domain="attacker")
+        assert cache.contains(0)
+
+    def test_all_locked_set_serves_miss_without_allocation(self):
+        cache = self._plcache(2)
+        cache.preload_locked([0, 1])
+        result = cache.access(5, domain="attacker")
+        assert not result.hit
+        assert not cache.contains(5)
+        assert cache.contains(0) and cache.contains(1)
+
+    def test_locked_line_hit_updates_replacement_state(self):
+        cache = self._plcache()
+        cache.preload_locked([0])
+        before = cache.replacement_state(0)
+        for address in (1, 2, 3):
+            cache.access(address, domain="attacker")
+        cache.access(0, domain="victim")
+        assert cache.replacement_state(0) != before
+
+    def test_unlock_allows_eviction(self):
+        cache = self._plcache()
+        cache.preload_locked([0])
+        cache.unlock(0)
+        for address in range(1, 10):
+            cache.access(address, domain="attacker")
+        assert not cache.contains(0)
+
+    def test_config_forced_lockable(self):
+        cache = PLCache(CacheConfig.fully_associative(4, lockable=False))
+        cache.lock(0)
+        assert cache.contains(0)
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        l1 = CacheConfig.direct_mapped(4)
+        l2 = CacheConfig.set_associative(4, 2)
+        return TwoLevelCache(l1, l2, cores=2)
+
+    def test_l1_hit_after_first_access(self):
+        hierarchy = self._hierarchy()
+        assert not hierarchy.access(0, core=0).hit
+        assert hierarchy.access(0, core=0).hit
+
+    def test_private_l1s(self):
+        hierarchy = self._hierarchy()
+        hierarchy.access(0, core=0)
+        result = hierarchy.access(0, core=1)
+        assert not result.l1_hit
+        assert result.l2_hit
+
+    def test_inclusion_back_invalidates_l1(self):
+        hierarchy = self._hierarchy()
+        hierarchy.access(0, core=0)
+        # Fill set 0 of the shared 2-way L2 with conflicting lines until 0 is evicted.
+        for address in (4, 8, 12, 16, 20):
+            hierarchy.access(address, core=1)
+        assert not hierarchy.l2.contains(0)
+        assert not hierarchy.l1_caches[0].contains(0)
+
+    def test_flush_removes_everywhere(self):
+        hierarchy = self._hierarchy()
+        hierarchy.access(3, core=0)
+        hierarchy.flush(3)
+        assert not hierarchy.contains(3, level="l2")
+        assert not hierarchy.contains(3, level="l1")
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError):
+            self._hierarchy().access(0, core=5)
+
+    def test_reset(self):
+        hierarchy = self._hierarchy()
+        hierarchy.access(0, core=0)
+        hierarchy.reset()
+        assert not hierarchy.contains(0, level="l2")
+
+
+class TestEventLog:
+    def test_conflict_event_codes(self):
+        attacker_evicts = ConflictEvent("attacker", "victim", 0, 0, 1)
+        victim_evicts = ConflictEvent("victim", "attacker", 0, 0, 2)
+        assert attacker_evicts.code == 1
+        assert victim_evicts.code == 0
+
+    def test_cache_records_cross_domain_conflicts(self, dm4_config):
+        cache = Cache(dm4_config)
+        cache.access(0, domain="victim")
+        cache.access(4, domain="attacker")  # evicts the victim line in set 0
+        train = cache.events.conflict_train()
+        assert train == [1]
+
+    def test_same_domain_evictions_not_recorded(self, dm4_config):
+        cache = Cache(dm4_config)
+        cache.access(0, domain="attacker")
+        cache.access(4, domain="attacker")
+        assert cache.events.conflict_train() == []
+
+    def test_victim_miss_counting(self, dm4_config):
+        cache = Cache(dm4_config)
+        cache.access(0, domain="victim")
+        cache.access(4, domain="attacker")
+        cache.access(0, domain="victim")
+        assert cache.events.victim_misses == 2
+        assert cache.events.attacker_misses == 1
+
+    def test_cyclic_interference_detected(self, dm4_config):
+        cache = Cache(dm4_config)
+        cache.access(0, domain="victim")
+        cache.access(4, domain="attacker")
+        cache.access(0, domain="victim")
+        assert cache.events.total_cyclic_interference() >= 1
+
+    def test_no_cyclic_interference_for_single_domain(self, dm4_config):
+        cache = Cache(dm4_config)
+        for address in (0, 4, 0, 4, 0):
+            cache.access(address, domain="attacker")
+        assert cache.events.total_cyclic_interference() == 0
+
+    def test_event_log_reset(self):
+        log = EventLog()
+        log.record_access("attacker", False, 0, 0, "victim")
+        log.reset()
+        assert log.conflicts == []
+        assert log.total_accesses == 0

@@ -1,0 +1,189 @@
+"""Tests for the replacement policies."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import (
+    LRUPolicy,
+    MRUPolicy,
+    PLRUPolicy,
+    REPLACEMENT_POLICIES,
+    RRIPPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+def _all_valid(n):
+    return [True] * n
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        assert policy.victim(_all_valid(4)) == 0
+
+    def test_hit_promotes(self):
+        policy = LRUPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        policy.on_hit(0)
+        assert policy.victim(_all_valid(4)) == 1
+
+    def test_prefers_invalid_way(self):
+        policy = LRUPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        valid = [True, True, False, True]
+        assert policy.victim(valid) == 2
+
+    def test_respects_locked_ways(self):
+        policy = LRUPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        assert policy.victim(_all_valid(4), frozenset({0})) == 1
+
+    def test_all_locked_raises(self):
+        policy = LRUPolicy(2)
+        policy.on_fill(0)
+        policy.on_fill(1)
+        with pytest.raises(RuntimeError):
+            policy.victim(_all_valid(2), frozenset({0, 1}))
+
+    def test_sequence_of_touches_orders_ages(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3, 1, 0):
+            policy.on_hit(way) if way in (1, 0) and policy.ages[way] != way else policy.on_fill(way)
+        # After touching 1 then 0 last, ways 2 and 3 are the oldest.
+        assert policy.victim(_all_valid(4)) in (2, 3)
+
+    def test_state_snapshot(self):
+        policy = LRUPolicy(4)
+        assert len(policy.state_snapshot()) == 4
+
+    def test_invalid_way_rejected(self):
+        with pytest.raises(IndexError):
+            LRUPolicy(4).on_hit(7)
+
+
+class TestPLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PLRUPolicy(6)
+
+    def test_tree_plru_approximates_lru(self):
+        # After touching 0, 1, 2 the root bit points at the left subtree, so
+        # standard tree-PLRU victimizes way 0 — a known divergence from true
+        # LRU (which would pick the untouched way 3).
+        policy = PLRUPolicy(4)
+        for way in (0, 1, 2):
+            policy.on_fill(way)
+        victim = policy.victim(_all_valid(4))
+        assert victim == 0
+        assert victim != 2  # the most recently touched way is never the victim
+
+    def test_full_fill_then_touch_changes_victim(self):
+        policy = PLRUPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        victim_before = policy.victim(_all_valid(4))
+        policy.on_hit(victim_before)
+        assert policy.victim(_all_valid(4)) != victim_before
+
+    def test_locked_victim_skipped(self):
+        policy = PLRUPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        victim = policy.victim(_all_valid(4))
+        alternate = policy.victim(_all_valid(4), frozenset({victim}))
+        assert alternate != victim
+
+    def test_eight_way_tree(self):
+        policy = PLRUPolicy(8)
+        for way in range(8):
+            policy.on_fill(way)
+        assert 0 <= policy.victim(_all_valid(8)) < 8
+
+    def test_state_snapshot_length(self):
+        assert len(PLRUPolicy(8).state_snapshot()) == 7
+
+
+class TestRRIP:
+    def test_insert_not_immediately_promoted(self):
+        policy = RRIPPolicy(4)
+        policy.on_fill(0)
+        assert policy.rrpv[0] == policy.insert_rrpv
+
+    def test_hit_promotes_to_zero(self):
+        policy = RRIPPolicy(4)
+        policy.on_fill(0)
+        policy.on_hit(0)
+        assert policy.rrpv[0] == 0
+
+    def test_victim_prefers_distant_rereference(self):
+        policy = RRIPPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        policy.on_hit(0)
+        policy.on_hit(1)
+        victim = policy.victim(_all_valid(4))
+        assert victim in (2, 3)
+
+    def test_aging_terminates(self):
+        policy = RRIPPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+            policy.on_hit(way)
+        assert 0 <= policy.victim(_all_valid(4)) < 4
+
+    def test_locked_ways_skipped(self):
+        policy = RRIPPolicy(2)
+        policy.on_fill(0)
+        policy.on_fill(1)
+        assert policy.victim(_all_valid(2), frozenset({0})) == 1
+
+
+class TestRandomAndMRU:
+    def test_random_victim_in_range(self):
+        policy = RandomPolicy(4, rng=np.random.default_rng(0))
+        for way in range(4):
+            policy.on_fill(way)
+        for _ in range(20):
+            assert 0 <= policy.victim(_all_valid(4)) < 4
+
+    def test_random_victim_respects_locks(self):
+        policy = RandomPolicy(4, rng=np.random.default_rng(0))
+        for _ in range(20):
+            assert policy.victim(_all_valid(4), frozenset({0, 1, 2})) == 3
+
+    def test_random_covers_multiple_ways(self):
+        policy = RandomPolicy(8, rng=np.random.default_rng(1))
+        victims = {policy.victim(_all_valid(8)) for _ in range(100)}
+        assert len(victims) > 3
+
+    def test_mru_evicts_most_recent(self):
+        policy = MRUPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+        assert policy.victim(_all_valid(4)) == 3
+
+
+class TestFactory:
+    def test_all_registered_policies_construct(self):
+        for name in REPLACEMENT_POLICIES:
+            ways = 4
+            policy = make_policy(name, ways)
+            assert policy.num_ways == ways
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 4), LRUPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("belady", 4)
+
+    def test_invalid_way_count_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0)

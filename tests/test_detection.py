@@ -1,0 +1,234 @@
+"""Tests for the detection schemes: CC-Hunter, the SVM, Cyclone, miss counting."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.detection import (
+    AutocorrelationDetector,
+    BenignWorkloadGenerator,
+    CycloneDetector,
+    LinearSVM,
+    MissCountDetector,
+    StandardScaler,
+    WorkloadKind,
+    autocorrelation,
+    autocorrelogram,
+    cyclone_features,
+)
+from repro.detection.svm import k_fold_cross_validate
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        assert autocorrelation([1, 0, 1, 0], 0) == 1.0
+
+    def test_perfectly_periodic_train_has_high_autocorrelation(self):
+        train = [1, 0] * 20
+        assert autocorrelation(train, 2) > 0.9
+
+    def test_alternating_train_negative_at_lag_one(self):
+        train = [1, 0] * 20
+        assert autocorrelation(train, 1) < -0.9
+
+    def test_constant_train_is_periodic(self):
+        assert autocorrelation([1] * 10, 3) == 1.0
+
+    def test_empty_and_long_lags(self):
+        assert autocorrelation([], 1) == 0.0
+        assert autocorrelation([1, 0], 5) == 0.0
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1, 0], -1)
+
+    def test_random_train_has_low_autocorrelation(self):
+        rng = np.random.default_rng(0)
+        train = rng.integers(0, 2, size=200).tolist()
+        coefficients = autocorrelogram(train, 20)[1:]
+        assert max(abs(c) for c in coefficients) < 0.3
+
+    def test_autocorrelogram_length(self):
+        assert len(autocorrelogram([1, 0, 1, 0, 1], 3)) == 4
+
+    def test_detector_flags_periodic_train(self):
+        detector = AutocorrelationDetector(threshold=0.75)
+        assert detector.detect([1, 0] * 30)
+        assert detector.max_autocorrelation([1, 0] * 30) > 0.75
+
+    def test_detector_passes_random_train(self):
+        rng = np.random.default_rng(1)
+        detector = AutocorrelationDetector(threshold=0.75)
+        assert not detector.detect(rng.integers(0, 2, size=100).tolist())
+
+    def test_detector_ignores_tiny_trains(self):
+        detector = AutocorrelationDetector(min_events=4)
+        assert detector.max_autocorrelation([1, 0]) == 0.0
+        assert not detector.detect([1, 0])
+
+    def test_penalty_is_negative_for_periodic_trains(self):
+        detector = AutocorrelationDetector()
+        assert detector.penalty([1, 0] * 30, scale=-1.0) < -0.2
+        assert detector.penalty([], scale=-1.0) == 0.0
+
+
+class TestLinearSVM:
+    def _separable_data(self, rng, n=60):
+        benign = rng.normal(loc=0.0, scale=0.5, size=(n, 3))
+        attack = rng.normal(loc=3.0, scale=0.5, size=(n, 3))
+        features = np.concatenate([benign, attack])
+        labels = np.concatenate([np.zeros(n), np.ones(n)])
+        return features, labels
+
+    def test_fits_separable_data(self, rng):
+        features, labels = self._separable_data(rng)
+        model = LinearSVM(epochs=100, seed=0)
+        model.fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_predict_shape_and_values(self, rng):
+        features, labels = self._separable_data(rng)
+        model = LinearSVM(epochs=50, seed=0).fit(features, labels)
+        predictions = model.predict(features[:5])
+        assert predictions.shape == (5,)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_decision_function_sign_matches_prediction(self, rng):
+        features, labels = self._separable_data(rng)
+        model = LinearSVM(epochs=50, seed=0).fit(features, labels)
+        scores = model.decision_function(features)
+        assert np.array_equal((scores > 0).astype(int), model.predict(features))
+
+    def test_rejects_bad_labels(self, rng):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(rng.normal(size=(4, 2)), np.array([0, 1, 2, 1]))
+
+    def test_rejects_unfit_usage(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 3)))
+
+    def test_kfold_cross_validation(self, rng):
+        features, labels = self._separable_data(rng, n=40)
+        mean_accuracy, scores = k_fold_cross_validate(features, labels, folds=5,
+                                                      epochs=60, seed=0)
+        assert len(scores) == 5
+        assert mean_accuracy > 0.9
+
+    def test_scaler(self, rng):
+        features = rng.normal(loc=5.0, scale=3.0, size=(100, 4))
+        scaled = StandardScaler().fit_transform(features)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_scaler_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_scaler_handles_constant_features(self):
+        features = np.ones((10, 2))
+        scaled = StandardScaler().fit_transform(features)
+        assert np.all(np.isfinite(scaled))
+
+
+class TestWorkloads:
+    def test_trace_length_and_domains(self):
+        generator = BenignWorkloadGenerator(address_space=32, seed=0)
+        trace = generator.generate(200)
+        assert len(trace) <= 200
+        assert {domain for domain, _ in trace} <= {"attacker", "victim"}
+        assert all(0 <= address < 32 for _, address in trace)
+
+    def test_all_kinds_generate(self):
+        generator = BenignWorkloadGenerator(address_space=32, seed=1)
+        for kind in WorkloadKind:
+            trace = generator.generate(64, kind=kind)
+            assert trace
+
+    def test_dataset_yields_requested_count(self):
+        generator = BenignWorkloadGenerator(address_space=16, seed=2)
+        assert len(list(generator.dataset(5, 50))) == 5
+
+    def test_timeslicing_limits_domain_switches(self):
+        generator = BenignWorkloadGenerator(address_space=32, seed=3, timeslice=32)
+        trace = generator.generate(256)
+        switches = sum(1 for a, b in zip(trace, trace[1:]) if a[0] != b[0])
+        assert switches < len(trace) / 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BenignWorkloadGenerator(address_space=2)
+        with pytest.raises(ValueError):
+            BenignWorkloadGenerator(timeslice=0)
+
+
+class TestCyclone:
+    def _attack_trace(self, length=120):
+        # A prime+probe-style ping-pong between domains on the same sets.
+        trace = []
+        for _ in range(length // 6):
+            trace.extend([("attacker", 4), ("attacker", 5), ("victim", 0),
+                          ("attacker", 4), ("attacker", 5), ("victim", 1)])
+        return trace
+
+    def test_features_shape(self):
+        config = CacheConfig.direct_mapped(4)
+        features = cyclone_features(config, self._attack_trace(), interval=20)
+        assert features.ndim == 2
+        assert features.shape[1] == config.num_blocks
+
+    def test_attack_traces_have_cyclic_interference(self):
+        config = CacheConfig.direct_mapped(4)
+        features = cyclone_features(config, self._attack_trace(), interval=20)
+        assert features.sum() > 0
+
+    def test_benign_traces_have_little_cyclic_interference(self):
+        config = CacheConfig.direct_mapped(4)
+        generator = BenignWorkloadGenerator(address_space=16, seed=5)
+        benign = cyclone_features(config, generator.generate(200), interval=20)
+        attack = cyclone_features(config, self._attack_trace(200), interval=20)
+        assert benign.sum() < attack.sum()
+
+    def test_detector_separates_attack_from_benign(self):
+        config = CacheConfig.direct_mapped(4)
+        generator = BenignWorkloadGenerator(address_space=16, seed=7)
+        detector = CycloneDetector.trained_on_synthetic_benign(
+            config, attack_traces=[self._attack_trace()], num_benign=10,
+            trace_length=200, interval=20, seed=7)
+        assert detector.detection_rate(self._attack_trace()) > 0.5
+        assert detector.detection_rate(generator.generate(200)) < 0.5
+        assert detector.detect(self._attack_trace())
+
+    def test_detector_requires_traces(self):
+        detector = CycloneDetector(cache_config=CacheConfig.direct_mapped(4))
+        with pytest.raises(ValueError):
+            detector.train([], [])
+
+    def test_empty_trace_detection_rate(self):
+        config = CacheConfig.direct_mapped(4)
+        detector = CycloneDetector.trained_on_synthetic_benign(
+            config, attack_traces=[self._attack_trace()], num_benign=6,
+            trace_length=100, interval=20, seed=1)
+        assert detector.detection_rate([]) == 0.0
+
+
+class TestMissCount:
+    def test_detects_after_threshold(self):
+        detector = MissCountDetector(threshold=0)
+        assert not detector.observe_victim_access(True)
+        assert detector.observe_victim_access(False)
+
+    def test_none_means_no_access(self):
+        detector = MissCountDetector()
+        assert not detector.observe_victim_access(None)
+        assert detector.victim_misses == 0
+
+    def test_threshold(self):
+        detector = MissCountDetector(threshold=2)
+        assert not detector.scan_trace([False, False])
+        assert detector.scan_trace([False, False, False])
+
+    def test_reset(self):
+        detector = MissCountDetector()
+        detector.observe_victim_access(False)
+        detector.reset()
+        assert not detector.detected

@@ -1,0 +1,182 @@
+"""Tests for the neural-network layers, attention encoder, and distributions."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.nn import (
+    MLP,
+    Categorical,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    SelfAttentionEncoder,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.init import orthogonal, xavier_uniform
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        output = layer(Tensor(rng.standard_normal((7, 5))))
+        assert output.shape == (7, 3)
+
+    def test_linear_parameters(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.num_parameters() == 5 * 3 + 3
+
+    def test_activations(self):
+        x = Tensor([[-1.0, 2.0]])
+        assert np.allclose(ReLU()(x).numpy(), [[0.0, 2.0]])
+        assert np.allclose(Tanh()(x).numpy(), np.tanh([[-1.0, 2.0]]))
+        assert np.allclose(Sigmoid()(Tensor([[0.0]])).numpy(), [[0.5]])
+
+    def test_layernorm_normalizes(self, rng):
+        layer = LayerNorm(8)
+        output = layer(Tensor(rng.standard_normal((4, 8)) * 10.0 + 5.0)).numpy()
+        assert np.allclose(output.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(output.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_embedding_lookup(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        output = layer(np.array([1, 3, 1]))
+        assert output.shape == (3, 4)
+        assert np.allclose(output.numpy()[0], output.numpy()[2])
+
+    def test_sequential_chains(self, rng):
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        assert len(model) == 3
+        assert model(Tensor(rng.standard_normal((5, 4)))).shape == (5, 2)
+
+    def test_mlp_output_shape(self, rng):
+        model = MLP(6, [16, 16], 3, rng=rng)
+        assert model(Tensor(rng.standard_normal((2, 6)))).shape == (2, 3)
+
+    def test_mlp_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(4, [8], 2, activation="swish")
+
+    def test_mlp_gradients_flow_to_all_parameters(self, rng):
+        model = MLP(4, [8], 2, rng=rng)
+        x = Tensor(rng.standard_normal((3, 4)))
+        loss = (model(x) ** 2).sum()
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_linear_gradient_matches_numerical(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)))
+
+        def loss():
+            return (layer(x) ** 2).sum()
+
+        assert check_gradients(loss, layer.parameters(), tolerance=1e-3)
+
+    def test_layernorm_gradient_matches_numerical(self, rng):
+        layer = LayerNorm(5)
+        x = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+
+        def loss():
+            return (layer(x) ** 2).sum()
+
+        assert check_gradients(loss, [x] + layer.parameters(), tolerance=1e-3)
+
+
+class TestModule:
+    def test_state_dict_roundtrip(self, rng):
+        model = MLP(4, [8], 2, rng=rng)
+        clone = MLP(4, [8], 2, rng=np.random.default_rng(999))
+        clone.load_state_dict(model.state_dict())
+        x = Tensor(rng.standard_normal((3, 4)))
+        assert np.allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        model = MLP(4, [8], 2, rng=rng)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros(3)})
+
+    def test_train_eval_modes_propagate(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng), ReLU())
+        model.eval()
+        assert not model.training
+        assert all(not layer.training for layer in model)
+        model.train()
+        assert model.training
+
+    def test_zero_grad_clears_all(self, rng):
+        model = MLP(3, [4], 2, rng=rng)
+        (model(Tensor(rng.standard_normal((2, 3)))) ** 2).sum().backward()
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestInit:
+    def test_orthogonal_columns(self, rng):
+        weight = orthogonal((8, 4), rng=rng)
+        gram = weight.T @ weight
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_orthogonal_gain(self, rng):
+        weight = orthogonal((4, 4), gain=2.0, rng=rng)
+        assert np.allclose(weight @ weight.T, 4.0 * np.eye(4), atol=1e-8)
+
+    def test_xavier_bounds(self, rng):
+        weight = xavier_uniform((10, 20), rng=rng)
+        limit = np.sqrt(6.0 / 30.0)
+        assert np.all(np.abs(weight) <= limit + 1e-12)
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        encoder = SelfAttentionEncoder(input_dim=7, model_dim=16, rng=rng)
+        output = encoder(Tensor(rng.standard_normal((3, 5, 7))))
+        assert output.shape == (3, 16)
+
+    def test_rejects_non_sequence_input(self, rng):
+        encoder = SelfAttentionEncoder(input_dim=7, model_dim=16, rng=rng)
+        with pytest.raises(ValueError):
+            encoder(Tensor(rng.standard_normal((3, 7))))
+
+    def test_gradients_flow(self, rng):
+        encoder = SelfAttentionEncoder(input_dim=4, model_dim=8, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 4)))
+        (encoder(x) ** 2).sum().backward()
+        assert all(p.grad is not None for p in encoder.parameters())
+
+
+class TestCategorical:
+    def test_sample_distribution_matches_probabilities(self, rng):
+        logits = Tensor(np.log(np.array([[0.7, 0.2, 0.1]])))
+        distribution = Categorical(logits)
+        samples = [int(distribution.sample(rng)[0]) for _ in range(3000)]
+        frequency = np.bincount(samples, minlength=3) / len(samples)
+        assert np.allclose(frequency, [0.7, 0.2, 0.1], atol=0.05)
+
+    def test_mode(self):
+        distribution = Categorical(Tensor(np.array([[0.0, 5.0, 1.0], [9.0, 0.0, 0.0]])))
+        assert np.array_equal(distribution.mode(), [1, 0])
+
+    def test_log_prob(self):
+        distribution = Categorical(Tensor(np.log(np.array([[0.25, 0.75]]))))
+        assert np.allclose(distribution.log_prob(np.array([1])).numpy(), np.log(0.75))
+
+    def test_entropy_bounds(self, rng):
+        logits = Tensor(rng.standard_normal((6, 5)))
+        entropy = Categorical(logits).entropy().numpy()
+        assert np.all(entropy >= 0.0)
+        assert np.all(entropy <= np.log(5.0) + 1e-9)
+
+    def test_probs_sum_to_one(self, rng):
+        distribution = Categorical(Tensor(rng.standard_normal((4, 9))))
+        assert np.allclose(distribution.probs.sum(axis=-1), 1.0)
