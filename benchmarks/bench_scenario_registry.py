@@ -1,0 +1,40 @@
+"""Benchmark: scenario-registry construction cost across the whole catalogue.
+
+Environment construction sits on the sharding/rollout-worker startup path, so
+``repro.make()`` must stay cheap for every registered scenario.  This builds
+each constructible scenario once per round (the SVM wrapper variants need a
+trained detector and are skipped) and checks the envs actually reset.
+"""
+
+import pytest
+
+import repro
+
+
+def _constructible(scenario_ids):
+    return [scenario_id for scenario_id in scenario_ids
+            if not any(w["type"] == "svm_detection"
+                       for w in repro.get_spec(scenario_id).wrappers)]
+
+
+def test_make_every_scenario(benchmark, make_env, scenario_ids):
+    ids = _constructible(scenario_ids)
+
+    def build_catalogue():
+        return [make_env(scenario_id, seed=0) for scenario_id in ids]
+
+    envs = benchmark(build_catalogue)
+    assert len(envs) == len(ids)
+    for env in envs:
+        assert env.reset().shape == (env.observation_size,)
+
+
+@pytest.mark.parametrize("scenario_id", ["guessing/lru-4way", "covert/prime-probe",
+                                         "blackbox/core-i7-6700-l2"])
+def test_spec_json_round_trip(benchmark, scenario_id):
+    spec = repro.get_spec(scenario_id)
+
+    def round_trip():
+        return repro.ScenarioSpec.from_json(spec.to_json())
+
+    assert benchmark(round_trip) == spec

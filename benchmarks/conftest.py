@@ -13,6 +13,7 @@ import os
 
 import pytest
 
+import repro
 from repro.experiments.common import get_scale
 
 
@@ -25,6 +26,18 @@ def pytest_configure(config):
 def bench_scale():
     """The experiment scale used by all RL-based benchmarks."""
     return get_scale(os.environ.get("REPRO_BENCH_SCALE", "bench"))
+
+
+@pytest.fixture(scope="session")
+def make_env():
+    """Scenario-registry constructor: benchmarks build envs via ``repro.make``."""
+    return repro.make
+
+
+@pytest.fixture(scope="session")
+def scenario_ids():
+    """All registered scenario ids (the benchmark workload catalogue)."""
+    return repro.list_scenarios()
 
 
 def emit(title: str, text: str) -> None:

@@ -14,13 +14,11 @@ from __future__ import annotations
 
 import argparse
 
+import repro
 from repro.attacks.scripted import TextbookPrimeProbeAttacker, run_scripted_attacker
-from repro.detection.autocorrelation import AutocorrelationDetector
-from repro.env.covert_env import MultiGuessCovertEnv
-from repro.env.wrappers import AutocorrelationPenaltyWrapper, SVMDetectionWrapper
 from repro.experiments.common import BENCH
 from repro.experiments.table8_fig3 import (
-    covert_env_config,
+    covert_scenario_overrides,
     evaluate_covert_policy,
     make_covert_env_factory,
 )
@@ -51,24 +49,21 @@ def main() -> None:
     print(f"  guess accuracy      : {textbook['guess_accuracy']:.3f}")
     print(f"  max autocorrelation : {textbook['max_autocorrelation']:.3f}")
 
-    # 2. Build the detector and the penalized training environment.
+    # 2. Build the detector and the penalized training environment.  Both
+    # detector-in-the-loop variants are registered scenarios; the SVM one
+    # takes its (non-serializable) trained detector at make() time.
+    overrides = covert_scenario_overrides(num_sets, episode_length)
     cyclone = None
     if arguments.detector == "svm":
         cyclone, _ = train_detector(num_sets, episode_length, seed=arguments.seed)
         print(f"  SVM validation accuracy: {cyclone.validation_accuracy:.3f}")
         print(f"  SVM detection rate (textbook): "
               f"{sum(cyclone.detection_rate(t) for t in textbook['traces']) / len(textbook['traces']):.3f}")
-
-        def penalized_factory(seed: int):
-            env = MultiGuessCovertEnv(covert_env_config(num_sets, episode_length, seed),
-                                      episode_length=episode_length)
-            return SVMDetectionWrapper(env, cyclone)
+        penalized_factory = repro.make_factory("covert/prime-probe-svm",
+                                               detector=cyclone, **overrides)
     else:
-        def penalized_factory(seed: int):
-            env = MultiGuessCovertEnv(covert_env_config(num_sets, episode_length, seed),
-                                      episode_length=episode_length)
-            return AutocorrelationPenaltyWrapper(env, AutocorrelationDetector(),
-                                                 penalty_scale=-2.0)
+        penalized_factory = repro.make_factory("covert/prime-probe-cchunter",
+                                               **overrides)
 
     # 3. Train the evading agent and compare.
     print(f"\nTraining an RL attacker with the {arguments.detector} penalty...")

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import argparse
 
+import repro
 from repro.analysis.classifier import classify_sequence
 from repro.attacks.sequences import AttackSequence
 from repro.experiments.common import BENCH
-from repro.experiments.table5 import make_env_factory
 from repro.rl import PPOTrainer
 from repro.rl.trainer import STEPS_PER_EPOCH
 
@@ -31,7 +31,13 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     arguments = parser.parse_args()
 
-    factory = make_env_factory(arguments.policy, num_ways=arguments.ways)
+    # Resolve the scenario for the chosen policy; override the associativity
+    # (and the address range / window that depend on it) when not 4-way.
+    overrides = {"window_size": 3 * arguments.ways, "max_steps": 3 * arguments.ways}
+    if arguments.ways != 4:
+        overrides.update({"cache.num_ways": arguments.ways,
+                          "attacker_addr_e": arguments.ways})
+    factory = repro.make_factory(f"guessing/{arguments.policy}-4way", **overrides)
     trainer = PPOTrainer(factory, BENCH.ppo_config(), hidden_sizes=BENCH.hidden_sizes,
                          seed=arguments.seed)
     print(f"Training against the {arguments.policy.upper()} policy "

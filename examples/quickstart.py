@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: let the RL agent discover a cache-timing attack from scratch.
 
-Builds the smallest interesting guessing game — a 2-set direct-mapped cache
-where the victim accesses address 0 or 1 and the attacker owns addresses 2 and
-3 — trains a PPO agent for a couple of minutes on one CPU, and prints the
-attack sequence it found (typically a minimal prime+probe such as
+Builds the smallest interesting guessing game through the scenario registry —
+``repro.make("guessing/quickstart")`` is a 2-set direct-mapped cache where the
+victim accesses address 0 or 1 and the attacker owns addresses 2 and 3 —
+trains a PPO agent for a couple of minutes on one CPU, and prints the attack
+sequence it found (typically a minimal prime+probe such as
 ``2 -> v -> 2 -> g``).
 
 Run with:  python examples/quickstart.py [--updates 120]
@@ -14,22 +15,12 @@ from __future__ import annotations
 
 import argparse
 
+import repro
 from repro.analysis.classifier import classify_sequence
 from repro.attacks.sequences import AttackSequence
-from repro.cache import CacheConfig
-from repro.env import CacheGuessingGameEnv, EnvConfig
 from repro.rl import PPOConfig, PPOTrainer
 
-
-def make_env(seed: int) -> CacheGuessingGameEnv:
-    config = EnvConfig(
-        cache=CacheConfig.direct_mapped(2),
-        attacker_addr_s=2, attacker_addr_e=3,   # attacker-owned lines
-        victim_addr_s=0, victim_addr_e=1,       # the victim's secret is 0 or 1
-        victim_no_access_enable=False,
-        window_size=8, max_steps=8, seed=seed,
-    )
-    return CacheGuessingGameEnv(config)
+SCENARIO = "guessing/quickstart"
 
 
 def main() -> None:
@@ -37,11 +28,19 @@ def main() -> None:
     parser.add_argument("--updates", type=int, default=120,
                         help="maximum number of PPO updates (default: 120)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scenario", default=SCENARIO,
+                        help=f"scenario id (default: {SCENARIO}); "
+                             "see repro.list_scenarios()")
     arguments = parser.parse_args()
+
+    print(f"Scenario: {arguments.scenario}")
+    print(f"  {repro.get_spec(arguments.scenario).description}")
 
     ppo = PPOConfig(horizon=256, num_envs=8, minibatch_size=256, update_epochs=4,
                     learning_rate=5e-4, entropy_coefficient=0.03)
-    trainer = PPOTrainer(make_env, ppo, hidden_sizes=(64, 64), seed=arguments.seed)
+    # The trainer accepts a scenario id directly and builds one env per actor.
+    trainer = PPOTrainer(arguments.scenario, ppo, hidden_sizes=(64, 64),
+                         seed=arguments.seed)
 
     print("Training the attacker agent (this takes a minute or two on one CPU)...")
     result = trainer.train(max_updates=arguments.updates, eval_every=10,
@@ -61,7 +60,7 @@ def main() -> None:
         print(f"  secret {secret!s:>4}: {' -> '.join(labels)}")
     category = classify_sequence(
         AttackSequence.from_labels(result.extraction.representative),
-        make_env(0).config)
+        repro.make(arguments.scenario, seed=0).config)
     print(f"\nAttack category: {category.value}")
 
 

@@ -17,12 +17,13 @@ import argparse
 
 import numpy as np
 
+import repro
 from repro.analysis.classifier import classify_sequence
 from repro.attacks.sequences import AttackSequence
 from repro.experiments.common import BENCH
-from repro.experiments.table3 import make_env_factory
 from repro.hardware import CacheQueryInterface, get_machine, list_machines
 from repro.rl import PPOTrainer
+from repro.scenarios import machine_scenario_id
 
 
 def probe_with_cachequery(machine_key: str) -> None:
@@ -52,7 +53,8 @@ def main() -> None:
     probe_with_cachequery(arguments.machine)
 
     machine = get_machine(arguments.machine)
-    factory = make_env_factory(machine, attacker_addresses=machine.num_ways + 1)
+    factory = repro.make_factory(machine_scenario_id(machine.key),
+                                 attacker_addresses=machine.num_ways + 1)
     trainer = PPOTrainer(factory, BENCH.ppo_config(), hidden_sizes=BENCH.hidden_sizes,
                          seed=arguments.seed)
     print(f"Training the RL agent against the blackbox {machine.name} {machine.cache_level}...")

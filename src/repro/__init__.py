@@ -12,14 +12,31 @@ Learning for Automated Exploration of Cache-Timing Attacks" (HPCA 2023):
 * :mod:`repro.attacks` — textbook attacks, LRU-state attacks,
   StealthyStreamline, covert channels, and a Spectre-v1 demo;
 * :mod:`repro.hardware` — blackbox machine models replacing real processors;
+* :mod:`repro.scenarios` — the scenario registry behind :func:`repro.make`;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Environments are constructed declaratively through the scenario registry::
+
+    import repro
+
+    repro.list_scenarios()                     # every registered scenario id
+    env = repro.make("guessing/lru-4way")      # build one, gym-style
+    env = repro.make("guessing/lru-4way", seed=3, **{"cache.num_ways": 8})
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.cache import Cache, CacheConfig
 from repro.env import CacheGuessingGameEnv, EnvConfig, RewardConfig
 from repro.rl import PPOConfig, PPOTrainer
+from repro.scenarios import (
+    ScenarioSpec,
+    get_spec,
+    list_scenarios,
+    make,
+    make_factory,
+    register,
+)
 
 __all__ = [
     "__version__",
@@ -30,4 +47,10 @@ __all__ = [
     "RewardConfig",
     "PPOConfig",
     "PPOTrainer",
+    "ScenarioSpec",
+    "get_spec",
+    "list_scenarios",
+    "make",
+    "make_factory",
+    "register",
 ]

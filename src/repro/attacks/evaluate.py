@@ -15,6 +15,19 @@ from collections import Counter, defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
+def _resolve_env(env):
+    """Accept a ready env, a scenario id, or a ScenarioSpec."""
+    if isinstance(env, str):
+        from repro.scenarios import make
+
+        return make(env)
+    from repro.scenarios.spec import ScenarioSpec
+
+    if isinstance(env, ScenarioSpec):
+        return env.build()
+    return env
+
+
 def observation_signature(env, action_indices: Sequence[int],
                           secret) -> Tuple[Tuple[Optional[bool], ...], int]:
     """Run ``action_indices`` on ``env`` with a pinned secret; return (signature, steps).
@@ -57,9 +70,12 @@ def evaluate_action_sequence(env, action_indices: Sequence[int],
                              trials: int = 4) -> Tuple[float, int]:
     """Accuracy achievable by the prefix ``action_indices`` on ``env``.
 
-    Executes the prefix ``trials`` times per possible secret (multiple trials
-    matter for noisy or randomized caches) and returns (accuracy, env_steps).
+    ``env`` may be a ready environment, a registered scenario id, or a
+    :class:`~repro.scenarios.ScenarioSpec`.  Executes the prefix ``trials``
+    times per possible secret (multiple trials matter for noisy or randomized
+    caches) and returns (accuracy, env_steps).
     """
+    env = _resolve_env(env)
     secrets: List = list(env.config.victim_addresses)
     if env.config.victim_no_access_enable:
         secrets.append(None)

@@ -26,7 +26,7 @@ from repro.cache.prefetcher import NextLinePrefetcher, StreamPrefetcher, make_pr
 from repro.cache.mapping import ModuloMapping, RandomPermutationMapping, make_mapping
 from repro.cache.plcache import PLCache
 from repro.cache.hierarchy import TwoLevelCache
-from repro.cache.events import ConflictEvent, EventLog
+from repro.cache.events import ConflictEvent, EventLog, FlushEvent
 
 __all__ = [
     "CacheConfig",
@@ -51,4 +51,5 @@ __all__ = [
     "TwoLevelCache",
     "ConflictEvent",
     "EventLog",
+    "FlushEvent",
 ]

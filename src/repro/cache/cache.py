@@ -154,14 +154,24 @@ class Cache:
                             evicted_domain=evicted_domain,
                             prefetched=prefetched, domain=domain)
 
-    def flush(self, address: int, domain: Optional[str] = None) -> bool:
-        """clflush: invalidate ``address`` if present.  Returns whether it was resident."""
+    def flush(self, address: int, domain: Optional[str] = None,
+              record: bool = True) -> bool:
+        """clflush: invalidate ``address`` if present.  Returns whether it was resident.
+
+        The flush is recorded in the event log so detectors can observe flush
+        activity; internal invalidations (e.g. inclusion back-invalidations in
+        a hierarchy) pass ``record=False``.
+        """
         set_index, tag = self.locate(address)
+        resident = False
         for block in self.sets[set_index]:
             if block.matches(tag):
                 block.invalidate()
-                return True
-        return False
+                resident = True
+                break
+        if record:
+            self.events.record_flush(domain, address, set_index, resident)
+        return resident
 
     # ------------------------------------------------------------------ locks
     def lock(self, address: int, domain: Optional[str] = None) -> None:

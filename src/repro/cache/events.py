@@ -28,11 +28,23 @@ class ConflictEvent:
         return 1 if self.evictor == "attacker" else 0
 
 
+@dataclass(frozen=True)
+class FlushEvent:
+    """One clflush: ``domain`` invalidated ``address`` (``resident`` if it was cached)."""
+
+    domain: Optional[str]
+    address: int
+    set_index: int
+    resident: bool
+    step: int
+
+
 @dataclass
 class EventLog:
     """Accumulates detection-relevant events during a cache run."""
 
     conflicts: List[ConflictEvent] = field(default_factory=list)
+    flushes: List[FlushEvent] = field(default_factory=list)
     victim_misses: int = 0
     attacker_misses: int = 0
     total_accesses: int = 0
@@ -42,6 +54,7 @@ class EventLog:
 
     def reset(self) -> None:
         self.conflicts.clear()
+        self.flushes.clear()
         self.victim_misses = 0
         self.attacker_misses = 0
         self.total_accesses = 0
@@ -66,6 +79,20 @@ class EventLog:
                 evictor=domain, owner=evicted_domain, address=-1,
                 set_index=set_index, step=self._step))
         self._track_cyclic(domain, set_index, way)
+
+    def record_flush(self, domain: Optional[str], address: int, set_index: int,
+                     resident: bool) -> None:
+        """Record one clflush so detectors can observe flush activity."""
+        self._step += 1
+        self.flushes.append(FlushEvent(domain=domain, address=address,
+                                       set_index=set_index, resident=resident,
+                                       step=self._step))
+
+    def flush_count(self, domain: Optional[str] = None) -> int:
+        """Number of recorded flushes, optionally filtered by domain."""
+        if domain is None:
+            return len(self.flushes)
+        return sum(1 for event in self.flushes if event.domain == domain)
 
     def _track_cyclic(self, domain: Optional[str], set_index: int, way: int) -> None:
         """Cyclone-style cyclic interference: a -> b -> a on the same line."""

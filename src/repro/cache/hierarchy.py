@@ -70,15 +70,15 @@ class TwoLevelCache:
         # Inclusive L2: if the L2 evicted a line, back-invalidate it in every L1.
         if l2_result.evicted_address is not None:
             for cache in self.l1_caches.values():
-                cache.flush(l2_result.evicted_address)
+                cache.flush(l2_result.evicted_address, record=False)
         latency = self.l1_config.miss_latency if l2_result.hit else self.l2_config.miss_latency
         return HierarchyResult(address=address, l1_hit=False, l2_hit=l2_result.hit,
                                latency=latency, l2_result=l2_result)
 
-    def flush(self, address: int) -> None:
+    def flush(self, address: int, domain: Optional[str] = None) -> None:
         for cache in self.l1_caches.values():
-            cache.flush(address)
-        self.l2.flush(address)
+            cache.flush(address, domain=domain, record=False)
+        self.l2.flush(address, domain=domain)
 
     def contains(self, address: int, level: str = "l2") -> bool:
         if level == "l2":

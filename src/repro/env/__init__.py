@@ -17,9 +17,11 @@ from repro.env.backends import (
     HierarchyBackend,
     make_backend,
 )
+from repro.env.protocol import Env, BatchSteppable
 from repro.env.guessing_game import CacheGuessingGameEnv, StepResult
 from repro.env.covert_env import MultiGuessCovertEnv
 from repro.env.wrappers import (
+    EnvWrapper,
     MissCountDetectionWrapper,
     AutocorrelationPenaltyWrapper,
     SVMDetectionWrapper,
@@ -40,9 +42,12 @@ __all__ = [
     "SimulatedCacheBackend",
     "HierarchyBackend",
     "make_backend",
+    "Env",
+    "BatchSteppable",
     "CacheGuessingGameEnv",
     "StepResult",
     "MultiGuessCovertEnv",
+    "EnvWrapper",
     "MissCountDetectionWrapper",
     "AutocorrelationPenaltyWrapper",
     "SVMDetectionWrapper",

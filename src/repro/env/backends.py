@@ -104,7 +104,7 @@ class HierarchyBackend(CacheBackend):
         return result.hit, result.latency
 
     def flush(self, address: int, domain: str) -> None:
-        self.hierarchy.flush(address)
+        self.hierarchy.flush(address, domain=domain)
 
     @property
     def events(self) -> EventLog:

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.env.actions import ActionKind
 from repro.env.config import EnvConfig
-from repro.env.guessing_game import CacheGuessingGameEnv, StepResult, TraceEntry
+from repro.env.guessing_game import CacheGuessingGameEnv, TraceEntry
 from repro.env.observation import LatencyObservation
 
 
@@ -29,13 +29,12 @@ class MultiGuessCovertEnv(CacheGuessingGameEnv):
         self.guesses_made = 0
         self.correct_guesses = 0
 
-    def reset(self, secret: Optional[int] = "random") -> np.ndarray:
-        observation = super().reset(secret=secret)
+    def _reset_core(self, secret: Optional[int] = "random") -> None:
+        super()._reset_core(secret=secret)
         self.guesses_made = 0
         self.correct_guesses = 0
-        return observation
 
-    def step(self, action_index: int) -> StepResult:
+    def _step_core(self, action_index: int) -> tuple:
         action = self.actions.decode(int(action_index))
         rewards = self.config.rewards
         self.step_count += 1
@@ -84,7 +83,7 @@ class MultiGuessCovertEnv(CacheGuessingGameEnv):
         self.encoder.record(latency_obs, int(action_index), self.step_count,
                             self.victim_triggered)
         info["trace"] = self.trace
-        return StepResult(self.encoder.encode_flat(), reward, done, info)
+        return reward, done, info
 
     # ------------------------------------------------------------ statistics
     def episode_statistics(self) -> Dict[str, float]:

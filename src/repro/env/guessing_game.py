@@ -56,7 +56,13 @@ class CacheGuessingGameEnv:
 
     Follows the OpenAI Gym calling convention: ``reset()`` returns an
     observation, ``step(action)`` returns ``(observation, reward, done, info)``.
+    The allocation-free ``reset_into``/``step_into`` variants back the
+    vectorized batch step path.
     """
+
+    # Advertise the allocation-free step path (wrappers set this to False so
+    # their reward shaping cannot be bypassed).
+    supports_step_into = True
 
     def __init__(self, config: EnvConfig, backend: Optional[CacheBackend] = None,
                  rng: Optional[np.random.Generator] = None,
@@ -92,8 +98,8 @@ class CacheGuessingGameEnv:
         addresses = [pool[int(self.rng.integers(len(pool)))] for _ in range(count)]
         self.backend.warm_up(addresses, domain="attacker")
 
-    def reset(self, secret: Optional[int] = "random") -> np.ndarray:
-        """Start a new episode.  ``secret`` can pin the victim secret for replay."""
+    def _reset_core(self, secret: Optional[int] = "random") -> None:
+        """Reset episode state without encoding an observation."""
         self.backend.reset()
         self._warm_up()
         self.encoder.reset()
@@ -102,7 +108,16 @@ class CacheGuessingGameEnv:
         self.victim_triggered = False
         self.trace = []
         self.episode_count += 1
+
+    def reset(self, secret: Optional[int] = "random") -> np.ndarray:
+        """Start a new episode.  ``secret`` can pin the victim secret for replay."""
+        self._reset_core(secret=secret)
         return self.encoder.encode_flat()
+
+    def reset_into(self, out: np.ndarray, secret: Optional[int] = "random") -> None:
+        """Allocation-free reset: write the initial observation into ``out``."""
+        self._reset_core(secret=secret)
+        self.encoder.encode_into(out)
 
     # ------------------------------------------------------------------- step
     def _victim_access(self) -> Optional[bool]:
@@ -124,6 +139,22 @@ class CacheGuessingGameEnv:
 
     def step(self, action_index: int) -> StepResult:
         """Apply one agent action and return (observation, reward, done, info)."""
+        reward, done, info = self._step_core(int(action_index))
+        return StepResult(self.encoder.encode_flat(), reward, done, info)
+
+    def step_into(self, action_index: int, out: np.ndarray) -> tuple:
+        """Allocation-free step: write the observation into ``out``.
+
+        Returns ``(reward, done, info)``.  This is the env-side half of the
+        vectorized batch step path; :class:`repro.rl.vec_env.VecEnv` hands in
+        one row of its preallocated observation buffer.
+        """
+        reward, done, info = self._step_core(int(action_index))
+        self.encoder.encode_into(out)
+        return reward, done, info
+
+    def _step_core(self, action_index: int) -> tuple:
+        """Advance the game by one action; returns (reward, done, info)."""
         action = self.actions.decode(int(action_index))
         rewards = self.config.rewards
         self.step_count += 1
@@ -166,7 +197,7 @@ class CacheGuessingGameEnv:
         self.encoder.record(latency_obs, int(action_index), self.step_count,
                             self.victim_triggered)
         info["trace"] = self.trace
-        return StepResult(self.encoder.encode_flat(), reward, done, info)
+        return reward, done, info
 
     # ------------------------------------------------------------------ misc
     def action_labels(self) -> List[str]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -65,29 +65,40 @@ class ObservationEncoder:
     def flat_size(self) -> int:
         return self.window_size * self.step_features
 
-    def _encode_step(self, record: Optional[StepRecord]) -> np.ndarray:
-        features = np.zeros(self.step_features, dtype=np.float64)
-        if record is None:
-            # Empty slot: latency NA, action "none".
-            features[LatencyObservation.NA.value] = 1.0
-            features[3 + self.num_actions] = 1.0
-            return features
-        features[record.latency.value] = 1.0
-        features[3 + record.action_index] = 1.0
-        features[3 + self.num_actions + 1] = min(record.step / self.max_steps, 1.0)
-        features[3 + self.num_actions + 2] = 1.0 if record.victim_triggered else 0.0
-        return features
-
     def encode_matrix(self) -> np.ndarray:
         """(window_size, step_features) matrix, most recent step last."""
-        rows = []
-        padding = self.window_size - len(self._history)
-        for _ in range(padding):
-            rows.append(self._encode_step(None))
-        for record in self._history:
-            rows.append(self._encode_step(record))
-        return np.stack(rows, axis=0)
+        flat = self.encode_flat()
+        return flat.reshape(self.window_size, self.step_features)
 
     def encode_flat(self) -> np.ndarray:
         """Flattened window feature vector for MLP policies."""
-        return self.encode_matrix().reshape(-1)
+        out = np.empty(self.flat_size, dtype=np.float64)
+        self.encode_into(out)
+        return out
+
+    def encode_into(self, out: np.ndarray) -> None:
+        """Write the flat encoding into ``out`` (shape ``(flat_size,)``) in place.
+
+        This is the allocation-free path used by the vectorized env: ``out``
+        is typically one row of a preallocated batch observation buffer.
+        """
+        if out.shape != (self.flat_size,):
+            raise ValueError(f"expected output of shape ({self.flat_size},), "
+                             f"got {out.shape}")
+        out[:] = 0.0
+        features = self.step_features
+        none_action = 3 + self.num_actions
+        padding = self.window_size - len(self._history)
+        base = 0
+        for _ in range(padding):
+            # Empty slot: latency NA, action "none".
+            out[base + LatencyObservation.NA.value] = 1.0
+            out[base + none_action] = 1.0
+            base += features
+        for record in self._history:
+            out[base + record.latency.value] = 1.0
+            out[base + 3 + record.action_index] = 1.0
+            out[base + none_action + 1] = min(record.step / self.max_steps, 1.0)
+            if record.victim_triggered:
+                out[base + none_action + 2] = 1.0
+            base += features

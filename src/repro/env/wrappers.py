@@ -26,6 +26,11 @@ from repro.env.guessing_game import CacheGuessingGameEnv, StepResult
 class EnvWrapper:
     """Base wrapper delegating everything to the wrapped environment."""
 
+    # Wrappers shape rewards in step(); the allocation-free step_into path
+    # would bypass them, so it is explicitly disabled (VecEnv checks this
+    # before falling through __getattr__ to the inner env's implementation).
+    supports_step_into = False
+
     def __init__(self, env: CacheGuessingGameEnv):
         self.env = env
 

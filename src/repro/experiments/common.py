@@ -10,13 +10,17 @@ the comparisons the paper makes.  ``PAPER`` approximates the original budgets;
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.env.guessing_game import CacheGuessingGameEnv
 from repro.rl.ppo import PPOConfig
 from repro.rl.trainer import PPOTrainer, TrainingResult
+from repro.scenarios import ScenarioSpec
+
+# Anything the trainer can turn into environments: a ``factory(seed) -> env``
+# callable, a registered scenario id, or a ScenarioSpec.
+EnvSource = Union[Callable[[int], object], str, ScenarioSpec]
 
 
 @dataclass(frozen=True)
@@ -73,23 +77,27 @@ def get_scale(name_or_scale) -> ExperimentScale:
     raise KeyError(f"unknown scale {name_or_scale!r}; choose from {sorted(SCALES)}")
 
 
-def train_agent(env_factory: Callable[[int], CacheGuessingGameEnv],
+def train_agent(env_source: EnvSource,
                 scale: ExperimentScale, seed: int = 0,
                 target_accuracy: float = 0.95,
                 ppo_overrides: Optional[dict] = None) -> TrainingResult:
-    """Train one PPO agent with the scale's budget and return its result."""
-    trainer = PPOTrainer(env_factory, scale.ppo_config(**(ppo_overrides or {})),
+    """Train one PPO agent with the scale's budget and return its result.
+
+    ``env_source`` is anything :class:`~repro.rl.trainer.PPOTrainer` accepts:
+    an env factory, a scenario id, or a :class:`~repro.scenarios.ScenarioSpec`.
+    """
+    trainer = PPOTrainer(env_source, scale.ppo_config(**(ppo_overrides or {})),
                          hidden_sizes=scale.hidden_sizes, seed=seed)
     return trainer.train(max_updates=scale.max_updates, target_accuracy=target_accuracy,
                          eval_every=10, eval_episodes=scale.eval_episodes)
 
 
-def train_agent_with_trainer(env_factory: Callable[[int], CacheGuessingGameEnv],
+def train_agent_with_trainer(env_source: EnvSource,
                              scale: ExperimentScale, seed: int = 0,
                              target_accuracy: float = 0.95,
                              ppo_overrides: Optional[dict] = None) -> tuple:
     """Like :func:`train_agent` but also return the trainer (for further evaluation)."""
-    trainer = PPOTrainer(env_factory, scale.ppo_config(**(ppo_overrides or {})),
+    trainer = PPOTrainer(env_source, scale.ppo_config(**(ppo_overrides or {})),
                          hidden_sizes=scale.hidden_sizes, seed=seed)
     result = trainer.train(max_updates=scale.max_updates, target_accuracy=target_accuracy,
                            eval_every=10, eval_episodes=scale.eval_episodes)

@@ -1,9 +1,9 @@
 """Table I / Section II: the known cache-timing attack catalogue.
 
-For each known attack category we build a matching environment configuration,
-generate the textbook attack sequence, and verify on the simulator that its
-observations fully distinguish the possible secrets (accuracy 1.0 on a
-deterministic cache).
+Each known attack category has a matching registered scenario (``known/*``);
+we generate the textbook attack sequence for its configuration and verify on
+the simulator that its observations fully distinguish the possible secrets
+(accuracy 1.0 on a deterministic cache).
 """
 
 from __future__ import annotations
@@ -17,46 +17,24 @@ from repro.attacks.textbook import (
     flush_reload_sequence,
     prime_probe_sequence,
 )
-from repro.cache.config import CacheConfig
-from repro.env.config import EnvConfig
-from repro.env.guessing_game import CacheGuessingGameEnv
 from repro.experiments.common import format_table
+from repro.scenarios import get_spec, make
 
-
-def _case_prime_probe() -> tuple:
-    config = EnvConfig(cache=CacheConfig.direct_mapped(4), attacker_addr_s=4, attacker_addr_e=7,
-                       victim_addr_s=0, victim_addr_e=3, victim_no_access_enable=False,
-                       window_size=24, warmup_accesses=0)
-    return "prime+probe", config, prime_probe_sequence(config)
-
-
-def _case_flush_reload() -> tuple:
-    config = EnvConfig(cache=CacheConfig.direct_mapped(4), attacker_addr_s=0, attacker_addr_e=3,
-                       victim_addr_s=0, victim_addr_e=3, victim_no_access_enable=False,
-                       flush_enable=True, window_size=24, warmup_accesses=0)
-    return "flush+reload", config, flush_reload_sequence(config)
-
-
-def _case_evict_reload() -> tuple:
-    config = EnvConfig(cache=CacheConfig.direct_mapped(4), attacker_addr_s=0, attacker_addr_e=7,
-                       victim_addr_s=0, victim_addr_e=3, victim_no_access_enable=False,
-                       window_size=32, warmup_accesses=0)
-    return "evict+reload", config, evict_reload_sequence(config)
-
-
-def _case_lru_state() -> tuple:
-    config = EnvConfig(cache=CacheConfig.fully_associative(4), attacker_addr_s=0, attacker_addr_e=4,
-                       victim_addr_s=0, victim_addr_e=0, victim_no_access_enable=True,
-                       window_size=16, warmup_accesses=0)
-    return "lru state (addr-based)", config, lru_address_based_sequence(config)
+# (row name, registered scenario, textbook sequence generator)
+KNOWN_ATTACK_CASES = (
+    ("prime+probe", "known/prime-probe", prime_probe_sequence),
+    ("flush+reload", "known/flush-reload", flush_reload_sequence),
+    ("evict+reload", "known/evict-reload", evict_reload_sequence),
+    ("lru state (addr-based)", "known/lru-state", lru_address_based_sequence),
+)
 
 
 def run(scale=None) -> List[Dict]:
-    """Evaluate every known attack category on its matching configuration."""
+    """Evaluate every known attack category on its matching scenario."""
     rows: List[Dict] = []
-    for name, config, sequence in (_case_prime_probe(), _case_flush_reload(),
-                                   _case_evict_reload(), _case_lru_state()):
-        env = CacheGuessingGameEnv(config)
+    for name, scenario_id, sequence_builder in KNOWN_ATTACK_CASES:
+        env = make(scenario_id)
+        sequence = sequence_builder(get_spec(scenario_id).build_config())
         indices = sequence.to_indices(env.actions)
         accuracy, _steps = evaluate_action_sequence(env, indices, trials=2)
         rows.append({

@@ -14,21 +14,23 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.classifier import classify_sequence
 from repro.attacks.sequences import AttackSequence
-from repro.env.hardware_env import BlackboxHardwareEnv
 from repro.experiments.common import ExperimentScale, format_table, get_scale, train_agent
 from repro.hardware.machines import TABLE3_MACHINES, MachineSpec, get_machine
+from repro.scenarios import machine_scenario_id, make, make_factory
 
 # The 4-way L2/L3 partitions are the tractable ones on a single-CPU budget.
 DEFAULT_BENCH_MACHINES = ("Core i7-6700:L2",)
 
 
 def make_env_factory(machine: MachineSpec, attacker_addresses: Optional[int] = None):
-    """Environment factory for one blackbox machine."""
+    """Environment factory for one blackbox machine.
 
-    def factory(seed: int) -> BlackboxHardwareEnv:
-        return BlackboxHardwareEnv(machine, attacker_addresses=attacker_addresses, seed=seed)
-
-    return factory
+    Thin shim over the scenario registry (``blackbox/<machine>`` scenarios).
+    """
+    overrides = {}
+    if attacker_addresses is not None:
+        overrides["attacker_addresses"] = attacker_addresses
+    return make_factory(machine_scenario_id(machine.key), **overrides)
 
 
 def run(scale: ExperimentScale = "bench", machines: Optional[Sequence[str]] = None,
@@ -50,7 +52,8 @@ def run(scale: ExperimentScale = "bench", machines: Optional[Sequence[str]] = No
         category = ""
         if result.extraction is not None:
             sequence_labels = result.extraction.representative
-            env = BlackboxHardwareEnv(spec, attacker_addresses=attacker_addresses, seed=seed)
+            env = make(machine_scenario_id(spec.key), seed=seed,
+                       attacker_addresses=attacker_addresses)
             category = classify_sequence(AttackSequence.from_labels(sequence_labels),
                                          env.config).value
         rows.append({

@@ -5,90 +5,60 @@ set-associative caches, prefetchers, flush on/off, shared or disjoint address
 ranges, and a two-level hierarchy) and shows the RL agent finds a working
 attack in every one, usually of the category the configuration permits.
 
-Each configuration is expressed as an :class:`EnvConfig` builder plus the
-expected attack categories.  The driver (a) verifies a feasible textbook
-sequence for every configuration — a fast, deterministic check — and (b) runs
-RL training on a configurable subset (all 17 at paper scale).
+The 17 environment configurations live in the scenario registry as
+``table4/cfg01`` .. ``table4/cfg17`` (see :mod:`repro.scenarios.builtin`);
+this driver pairs them with the expected attack categories.  It (a) verifies a
+feasible textbook sequence for every configuration — a fast, deterministic
+check — and (b) runs RL training on a configurable subset (all 17 at paper
+scale).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.classifier import classify_sequence
 from repro.attacks.evaluate import evaluate_action_sequence
 from repro.attacks.sequences import AttackSequence
 from repro.attacks.textbook import textbook_attack_for_config
-from repro.cache.config import CacheConfig
 from repro.env.config import EnvConfig
-from repro.env.guessing_game import CacheGuessingGameEnv
 from repro.experiments.common import ExperimentScale, format_table, get_scale, train_agent
+from repro.scenarios import get_spec, make, make_factory
 
 
 @dataclass(frozen=True)
 class TableIVConfig:
-    """One row of Table IV: the environment plus the expected attack categories."""
+    """One row of Table IV: the scenario plus the expected attack categories."""
 
     number: int
     description: str
     expected_attacks: str
-    build: Callable[[], EnvConfig]
+    scenario: str
+
+    def build(self) -> EnvConfig:
+        """The row's :class:`EnvConfig` (resolved through the registry)."""
+        return get_spec(self.scenario).build_config()
 
 
-def _env(cache: CacheConfig, victim: tuple, attacker: tuple, flush: bool,
-         no_access: bool, hierarchy: bool = False, l2: Optional[CacheConfig] = None,
-         window: Optional[int] = None) -> EnvConfig:
-    return EnvConfig(cache=cache, attacker_addr_s=attacker[0], attacker_addr_e=attacker[1],
-                     victim_addr_s=victim[0], victim_addr_e=victim[1],
-                     flush_enable=flush, victim_no_access_enable=no_access,
-                     hierarchy=hierarchy, l2_cache=l2,
-                     window_size=window, max_steps=window)
+# Expected attack categories per configuration number (the env configurations
+# themselves are registered scenarios).
+EXPECTED_ATTACKS = {
+    1: "PP", 2: "PP", 3: "FR", 4: "ER, PP", 5: "PP, LRU", 6: "FR, LRU",
+    7: "ER, PP, LRU", 8: "FR, LRU", 9: "FR, LRU", 10: "FR", 11: "FR, LRU",
+    12: "ER, PP, LRU", 13: "ER, PP, LRU", 14: "ER", 15: "PP", 16: "PP", 17: "PP",
+}
 
 
 def table4_configs() -> List[TableIVConfig]:
-    """The 17 configurations of Table IV."""
-    configs = [
-        TableIVConfig(1, "DM 4-set, victim 0-3, attacker 4-7", "PP",
-                      lambda: _env(CacheConfig.direct_mapped(4), (0, 3), (4, 7), False, False, window=20)),
-        TableIVConfig(2, "DM 4-set + next-line prefetcher", "PP",
-                      lambda: _env(CacheConfig.direct_mapped(4, prefetcher="nextline"),
-                                   (0, 3), (4, 7), False, False, window=20)),
-        TableIVConfig(3, "DM 4-set, shared 0-3, flush", "FR",
-                      lambda: _env(CacheConfig.direct_mapped(4), (0, 3), (0, 3), True, False, window=20)),
-        TableIVConfig(4, "DM 4-set, attacker 0-7, no flush", "ER, PP",
-                      lambda: _env(CacheConfig.direct_mapped(4), (0, 3), (0, 7), False, False, window=24)),
-        TableIVConfig(5, "FA 4-way, victim 0/E, attacker 4-7", "PP, LRU",
-                      lambda: _env(CacheConfig.fully_associative(4), (0, 0), (4, 7), False, True, window=14)),
-        TableIVConfig(6, "FA 4-way, victim 0/E, shared 0-3, flush", "FR, LRU",
-                      lambda: _env(CacheConfig.fully_associative(4), (0, 0), (0, 3), True, True, window=14)),
-        TableIVConfig(7, "FA 4-way, victim 0/E, attacker 0-7", "ER, PP, LRU",
-                      lambda: _env(CacheConfig.fully_associative(4), (0, 0), (0, 7), False, True, window=16)),
-        TableIVConfig(8, "FA 4-way, victim 0-3, shared 0-3, flush", "FR, LRU",
-                      lambda: _env(CacheConfig.fully_associative(4), (0, 3), (0, 3), True, False, window=16)),
-        TableIVConfig(9, "FA 4-way, victim 0-3, attacker 0-7, flush", "FR, LRU",
-                      lambda: _env(CacheConfig.fully_associative(4), (0, 3), (0, 7), True, False, window=20)),
-        TableIVConfig(10, "DM 8-set, shared 0-7, flush", "FR",
-                      lambda: _env(CacheConfig.direct_mapped(8), (0, 7), (0, 7), True, False, window=36)),
-        TableIVConfig(11, "FA 8-way, victim 0/E, shared 0-7, flush", "FR, LRU",
-                      lambda: _env(CacheConfig.fully_associative(8), (0, 0), (0, 7), True, True, window=24)),
-        TableIVConfig(12, "FA 8-way, victim 0/E, attacker 0-15", "ER, PP, LRU",
-                      lambda: _env(CacheConfig.fully_associative(8), (0, 0), (0, 15), False, True, window=28)),
-        TableIVConfig(13, "FA 8-way + next-line prefetcher, attacker 0-15", "ER, PP, LRU",
-                      lambda: _env(CacheConfig.fully_associative(8, prefetcher="nextline"),
-                                   (0, 0), (0, 15), False, True, window=28)),
-        TableIVConfig(14, "FA 8-way + stream prefetcher, attacker 0-15", "ER",
-                      lambda: _env(CacheConfig.fully_associative(8, prefetcher="stream"),
-                                   (0, 0), (0, 15), False, True, window=28)),
-        TableIVConfig(15, "SA 2-way 4-set, victim 0-3, attacker 4-11", "PP",
-                      lambda: _env(CacheConfig.set_associative(4, 2), (0, 3), (4, 11), False, False, window=28)),
-        TableIVConfig(16, "2-level: private DM L1s, shared 2-way 4-set L2", "PP",
-                      lambda: _env(CacheConfig.direct_mapped(4), (0, 3), (4, 11), False, False,
-                                   hierarchy=True, l2=CacheConfig.set_associative(4, 2), window=28)),
-        TableIVConfig(17, "2-level: private DM L1s, shared 2-way 8-set L2", "PP",
-                      lambda: _env(CacheConfig.direct_mapped(8), (0, 7), (8, 23), False, False,
-                                   hierarchy=True, l2=CacheConfig.set_associative(8, 2), window=48)),
-    ]
+    """The 17 configurations of Table IV, resolved from the scenario registry."""
+    configs: List[TableIVConfig] = []
+    for number, expected in sorted(EXPECTED_ATTACKS.items()):
+        scenario_id = f"table4/cfg{number:02d}"
+        description = get_spec(scenario_id).description.split(": ", 1)[1]
+        configs.append(TableIVConfig(number=number, description=description,
+                                     expected_attacks=expected,
+                                     scenario=scenario_id))
     return configs
 
 
@@ -111,7 +81,7 @@ def run(scale: ExperimentScale = "bench", rl_configs: Optional[Sequence[int]] = 
     rows: List[Dict] = []
     for entry in table4_configs():
         env_config = entry.build()
-        env = CacheGuessingGameEnv(env_config)
+        env = make(entry.scenario)
         textbook = textbook_attack_for_config(env_config)
         textbook_accuracy, _ = evaluate_action_sequence(env, textbook.to_indices(env.actions),
                                                         trials=2)
@@ -140,12 +110,7 @@ def run(scale: ExperimentScale = "bench", rl_configs: Optional[Sequence[int]] = 
 
 
 def _make_factory(entry: TableIVConfig):
-    def factory(seed: int) -> CacheGuessingGameEnv:
-        config = entry.build()
-        config.seed = seed
-        return CacheGuessingGameEnv(config)
-
-    return factory
+    return make_factory(entry.scenario)
 
 
 def format_results(rows: List[Dict]) -> str:

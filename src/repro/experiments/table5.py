@@ -12,9 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.cache.config import CacheConfig
-from repro.env.config import EnvConfig
-from repro.env.guessing_game import CacheGuessingGameEnv
 from repro.experiments.common import (
     ExperimentScale,
     average_over_runs,
@@ -22,23 +19,23 @@ from repro.experiments.common import (
     get_scale,
     train_agent,
 )
+from repro.scenarios import make_factory
 
 POLICIES = ("lru", "plru", "rrip")
 
 
 def make_env_factory(policy: str, num_ways: int = 4, seed_offset: int = 0):
-    """Environment factory for one replacement policy (Table V setting)."""
+    """Environment factory for one replacement policy (Table V setting).
 
-    def factory(seed: int) -> CacheGuessingGameEnv:
-        config = EnvConfig(
-            cache=CacheConfig.fully_associative(num_ways, rep_policy=policy),
-            attacker_addr_s=0, attacker_addr_e=num_ways,
-            victim_addr_s=0, victim_addr_e=0, victim_no_access_enable=True,
-            window_size=3 * num_ways, max_steps=3 * num_ways,
-            seed=seed + seed_offset,
-        )
-        return CacheGuessingGameEnv(config)
-
+    Thin shim over the scenario registry: resolves ``guessing/<policy>-4way``
+    and applies associativity overrides when ``num_ways != 4``.
+    """
+    overrides = {"window_size": 3 * num_ways, "max_steps": 3 * num_ways}
+    if num_ways != 4:
+        overrides.update({"cache.num_ways": num_ways, "attacker_addr_e": num_ways})
+    factory = make_factory(f"guessing/{policy}-4way", **overrides)
+    if seed_offset:
+        return lambda seed: factory(seed + seed_offset)
     return factory
 
 

@@ -10,28 +10,23 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.cache.config import CacheConfig
-from repro.env.config import EnvConfig, RewardConfig
-from repro.env.guessing_game import CacheGuessingGameEnv
 from repro.experiments.common import ExperimentScale, format_table, get_scale, train_agent
+from repro.scenarios import make_factory
 
 STEP_REWARDS = (-0.02, -0.01, -0.005)
 
 
 def make_env_factory(step_reward: float, num_ways: int = 4, max_steps: int = 24):
-    """Environment factory for the random-replacement study."""
+    """Environment factory for the random-replacement study.
 
-    def factory(seed: int) -> CacheGuessingGameEnv:
-        config = EnvConfig(
-            cache=CacheConfig.fully_associative(num_ways, rep_policy="random"),
-            attacker_addr_s=0, attacker_addr_e=num_ways,
-            victim_addr_s=0, victim_addr_e=0, victim_no_access_enable=True,
-            rewards=RewardConfig(step_reward=step_reward),
-            window_size=max_steps, max_steps=max_steps, seed=seed,
-        )
-        return CacheGuessingGameEnv(config)
-
-    return factory
+    Thin shim over the scenario registry: ``guessing/random-4way`` with the
+    study's step-reward and episode-length overrides applied.
+    """
+    overrides = {"step_reward": step_reward,
+                 "window_size": max_steps, "max_steps": max_steps}
+    if num_ways != 4:
+        overrides.update({"cache.num_ways": num_ways, "attacker_addr_e": num_ways})
+    return make_factory("guessing/random-4way", **overrides)
 
 
 def run(scale: ExperimentScale = "bench", step_rewards: Sequence[float] = STEP_REWARDS,

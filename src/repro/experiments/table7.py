@@ -11,9 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.cache.config import CacheConfig
-from repro.env.config import EnvConfig
-from repro.env.guessing_game import CacheGuessingGameEnv
 from repro.experiments.common import (
     ExperimentScale,
     average_over_runs,
@@ -21,24 +18,24 @@ from repro.experiments.common import (
     get_scale,
     train_agent,
 )
+from repro.scenarios import make_factory
 
 
 def make_env_factory(pl_cache: bool, num_ways: int = 4, rep_policy: str = "plru"):
-    """Environment factory: PLRU cache, victim line 0 locked when ``pl_cache``."""
+    """Environment factory: PLRU cache, victim line 0 locked when ``pl_cache``.
 
-    def factory(seed: int) -> CacheGuessingGameEnv:
-        cache = CacheConfig.fully_associative(num_ways, rep_policy=rep_policy,
-                                              lockable=pl_cache)
-        config = EnvConfig(
-            cache=cache,
-            attacker_addr_s=1, attacker_addr_e=num_ways + 1,
-            victim_addr_s=0, victim_addr_e=0, victim_no_access_enable=True,
-            window_size=3 * num_ways, max_steps=3 * num_ways, seed=seed,
-        )
-        locked = [0] if pl_cache else None
-        return CacheGuessingGameEnv(config, pl_locked_addresses=locked)
-
-    return factory
+    Thin shim over the scenario registry (``guessing/plcache-plru-4way`` /
+    ``guessing/plcache-baseline-4way``) with associativity/policy overrides.
+    """
+    scenario = "guessing/plcache-plru-4way" if pl_cache else "guessing/plcache-baseline-4way"
+    overrides = {}
+    if rep_policy != "plru":
+        overrides["cache.rep_policy"] = rep_policy
+    if num_ways != 4:
+        overrides.update({"cache.num_ways": num_ways,
+                          "attacker_addr_e": num_ways + 1,
+                          "window_size": 3 * num_ways, "max_steps": 3 * num_ways})
+    return make_factory(scenario, **overrides)
 
 
 def run(scale: ExperimentScale = "bench", num_ways: int = 4, seed: int = 0) -> List[Dict]:

@@ -22,11 +22,8 @@ import numpy as np
 
 from repro.analysis.autocorrelogram import event_train_autocorrelogram
 from repro.attacks.scripted import TextbookPrimeProbeAttacker, run_scripted_attacker
-from repro.cache.config import CacheConfig
 from repro.detection.autocorrelation import AutocorrelationDetector
-from repro.env.config import EnvConfig, RewardConfig
-from repro.env.covert_env import MultiGuessCovertEnv
-from repro.env.wrappers import AutocorrelationPenaltyWrapper
+from repro.env.config import EnvConfig
 from repro.experiments.common import (
     ExperimentScale,
     format_table,
@@ -34,32 +31,40 @@ from repro.experiments.common import (
     train_agent_with_trainer,
 )
 from repro.rl.policy import ActorCriticPolicy
+from repro.scenarios import get_spec, make_factory
+
+
+def covert_scenario_overrides(num_sets: int, episode_length: int) -> dict:
+    """Overrides sizing the ``covert/prime-probe`` scenario family."""
+    return {
+        "cache.num_sets": num_sets,
+        "attacker_addr_s": num_sets, "attacker_addr_e": 2 * num_sets - 1,
+        "victim_addr_s": 0, "victim_addr_e": num_sets - 1,
+        "window_size": 4 * num_sets, "max_steps": episode_length,
+        "episode_length": episode_length,
+    }
 
 
 def covert_env_config(num_sets: int = 4, episode_length: int = 160, seed: int = 0) -> EnvConfig:
     """Direct-mapped cache with disjoint victim/attacker ranges (prime+probe setting)."""
-    return EnvConfig(
-        cache=CacheConfig.direct_mapped(num_sets),
-        attacker_addr_s=num_sets, attacker_addr_e=2 * num_sets - 1,
-        victim_addr_s=0, victim_addr_e=num_sets - 1,
-        victim_no_access_enable=False,
-        rewards=RewardConfig(step_reward=-0.01, no_guess_reward=-1.0),
-        window_size=4 * num_sets, max_steps=episode_length, seed=seed,
-    )
+    spec = get_spec("covert/prime-probe").with_overrides(
+        **covert_scenario_overrides(num_sets, episode_length))
+    return spec.build_config(seed=seed)
 
 
 def make_covert_env_factory(num_sets: int, episode_length: int,
                             autocorrelation_penalty: Optional[float] = None):
-    """Factory for the multi-guess covert env, optionally with the CC-Hunter penalty."""
+    """Factory for the multi-guess covert env, optionally with the CC-Hunter penalty.
 
-    def factory(seed: int):
-        config = covert_env_config(num_sets=num_sets, episode_length=episode_length, seed=seed)
-        env = MultiGuessCovertEnv(config, episode_length=episode_length)
-        if autocorrelation_penalty is not None:
-            env = AutocorrelationPenaltyWrapper(env, penalty_scale=autocorrelation_penalty)
-        return env
-
-    return factory
+    Thin shim over the scenario registry: ``covert/prime-probe`` (or its
+    ``-cchunter`` wrapper variant) with size overrides applied.
+    """
+    overrides = covert_scenario_overrides(num_sets, episode_length)
+    if autocorrelation_penalty is None:
+        return make_factory("covert/prime-probe", **overrides)
+    overrides["wrappers"] = ({"type": "autocorrelation_penalty",
+                              "penalty_scale": autocorrelation_penalty},)
+    return make_factory("covert/prime-probe-cchunter", **overrides)
 
 
 def evaluate_covert_policy(env_factory, policy: ActorCriticPolicy, episodes: int = 5,

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.attacks.scripted import TextbookPrimeProbeAttacker, run_scripted_attacker
 from repro.detection.cyclone import CycloneDetector
-from repro.env.wrappers import SVMDetectionWrapper
 from repro.experiments.common import (
     ExperimentScale,
     format_table,
@@ -24,10 +23,11 @@ from repro.experiments.common import (
 )
 from repro.experiments.table8_fig3 import (
     covert_env_config,
+    covert_scenario_overrides,
     evaluate_covert_policy,
     make_covert_env_factory,
 )
-from repro.env.covert_env import MultiGuessCovertEnv
+from repro.scenarios import make_factory
 
 
 def _detection_rate(detector: CycloneDetector, traces: List) -> float:
@@ -83,10 +83,8 @@ def run(scale: ExperimentScale = "bench", seed: int = 0, eval_episodes: int = 5)
     })
 
     # RL SVM: trained with the detector in the loop as a reward penalty.
-    def svm_factory(factory_seed: int):
-        env = MultiGuessCovertEnv(covert_env_config(num_sets, episode_length, factory_seed),
-                                  episode_length=episode_length)
-        return SVMDetectionWrapper(env, detector)
+    svm_factory = make_factory("covert/prime-probe-svm", detector=detector,
+                               **covert_scenario_overrides(num_sets, episode_length))
 
     _result, svm_trainer = train_agent_with_trainer(svm_factory, scale, seed=seed + 1,
                                                     target_accuracy=0.97)

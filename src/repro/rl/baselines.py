@@ -18,6 +18,17 @@ from repro.attacks.evaluate import evaluate_action_sequence
 from repro.env.config import EnvConfig
 
 
+def _build_env(config):
+    """Build the search env from an EnvConfig, scenario id, or ScenarioSpec."""
+    if isinstance(config, EnvConfig):
+        from repro.env.guessing_game import CacheGuessingGameEnv
+
+        return CacheGuessingGameEnv(config)
+    from repro.scenarios import make
+
+    return make(config)
+
+
 @dataclass
 class SearchResult:
     """Outcome of a search baseline."""
@@ -37,15 +48,14 @@ class RandomSearchBaseline:
     the right guess would reach the target accuracy.
     """
 
-    def __init__(self, config: EnvConfig, seed: int = 0):
+    def __init__(self, config, seed: int = 0):
+        """``config`` may be an EnvConfig, a scenario id, or a ScenarioSpec."""
         self.config = config
         self.rng = np.random.default_rng(seed)
 
     def search(self, max_sequences: int = 2000, max_length: Optional[int] = None,
                target_accuracy: float = 0.95, trials_per_sequence: int = 4) -> SearchResult:
-        from repro.env.guessing_game import CacheGuessingGameEnv
-
-        env = CacheGuessingGameEnv(self.config)
+        env = _build_env(self.config)
         non_guess = [i for i in range(len(env.actions)) if not env.actions.decode(i).is_guess]
         max_length = max_length or env.max_steps - 1
         env_steps = 0
@@ -67,15 +77,14 @@ class GreedyOneStepBaseline:
     one action at a time, keeping the action that maximizes how well the
     resulting observations separate the possible secrets."""
 
-    def __init__(self, config: EnvConfig, seed: int = 0):
+    def __init__(self, config, seed: int = 0):
+        """``config`` may be an EnvConfig, a scenario id, or a ScenarioSpec."""
         self.config = config
         self.rng = np.random.default_rng(seed)
 
     def search(self, max_length: int = 16, target_accuracy: float = 0.95,
                trials_per_sequence: int = 4) -> SearchResult:
-        from repro.env.guessing_game import CacheGuessingGameEnv
-
-        env = CacheGuessingGameEnv(self.config)
+        env = _build_env(self.config)
         non_guess = [i for i in range(len(env.actions)) if not env.actions.decode(i).is_guess]
         sequence: List[int] = []
         env_steps = 0

@@ -41,11 +41,18 @@ class TrainingResult:
 
 
 class PPOTrainer:
-    """Collect rollouts from a vector of guessing-game envs and run PPO updates."""
+    """Collect rollouts from a vector of guessing-game envs and run PPO updates.
+
+    ``env_factory`` may be a ``factory(seed) -> env`` callable, a scenario id
+    (``"guessing/lru-4way"``), or a :class:`~repro.scenarios.ScenarioSpec`.
+    """
 
     def __init__(self, env_factory: Callable[[int], object],
                  ppo_config: Optional[PPOConfig] = None,
                  hidden_sizes=(128, 128), backbone: str = "mlp", seed: int = 0):
+        from repro.scenarios import as_env_factory
+
+        env_factory = as_env_factory(env_factory)
         self.config = ppo_config or PPOConfig()
         self.seed = seed
         self.rng = np.random.default_rng(seed)

@@ -1,36 +1,78 @@
-"""A simple synchronous vector of environments.
+"""A synchronous vector of environments with an array-native step path.
 
 Batching several environment copies lets the numpy policy amortize its forward
 pass, standing in for the asynchronous actor pool the paper uses (RLMeta /
 Sample Factory style).  Environments auto-reset when their episode ends, and
 episode summaries are surfaced so the trainer can track accuracy and length.
+
+Environments can be given as a factory callable ``factory(index) -> env``, a
+scenario id (``"guessing/lru-4way"``), or a :class:`~repro.scenarios.ScenarioSpec`;
+ids and specs are resolved through the scenario registry, so the vectorized
+path and ``repro.make()`` construct identical environments.
+
+The hot path is allocation-free: observation/reward/done buffers are
+preallocated once, and envs that advertise ``supports_step_into`` write their
+observations directly into rows of the batch buffer (wrappers fall back to the
+generic ``step()`` path so their reward shaping is preserved).  Returned
+arrays are double-buffered — each is reused two calls later, which is exactly
+the lifetime the PPO rollout loop needs; callers keeping references longer
+must copy.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Union
 
 import numpy as np
 
 
 class VecEnv:
-    """Synchronous vectorized environment with auto-reset."""
+    """Synchronous vectorized environment with auto-reset and reusable buffers."""
 
-    def __init__(self, env_factory: Callable[[int], object], num_envs: int):
+    def __init__(self, env_source: Union[Callable[[int], object], str, object],
+                 num_envs: int, **scenario_overrides):
         if num_envs < 1:
             raise ValueError("num_envs must be >= 1")
+        from repro.scenarios import as_env_factory
+
+        env_factory = as_env_factory(env_source, **scenario_overrides)
         self.envs = [env_factory(index) for index in range(num_envs)]
         self.num_envs = num_envs
         first = self.envs[0]
         self.observation_size = first.observation_size
         self.num_actions = first.action_space.n
+        self._fast_path = [bool(getattr(env, "supports_step_into", False))
+                           for env in self.envs]
+        # Double-buffered outputs: the batch returned by one call stays valid
+        # while the next call fills the other buffer (the PPO loop holds the
+        # previous observation batch across exactly one step).
+        self._observation_buffers = (
+            np.zeros((num_envs, self.observation_size)),
+            np.zeros((num_envs, self.observation_size)),
+        )
+        self._reward_buffers = (np.zeros(num_envs), np.zeros(num_envs))
+        self._done_buffers = (np.zeros(num_envs), np.zeros(num_envs))
+        self._flip = 0
         self._episode_rewards = np.zeros(num_envs)
         self._episode_lengths = np.zeros(num_envs, dtype=np.int64)
+
+    def _next_buffers(self) -> tuple:
+        buffers = (self._observation_buffers[self._flip],
+                   self._reward_buffers[self._flip],
+                   self._done_buffers[self._flip])
+        self._flip ^= 1
+        return buffers
 
     def reset(self) -> np.ndarray:
         self._episode_rewards[:] = 0.0
         self._episode_lengths[:] = 0
-        return np.stack([env.reset() for env in self.envs], axis=0)
+        observations, _rewards, _dones = self._next_buffers()
+        for index, env in enumerate(self.envs):
+            if self._fast_path[index]:
+                env.reset_into(observations[index])
+            else:
+                observations[index] = env.reset()
+        return observations
 
     def step(self, actions: np.ndarray) -> tuple:
         """Step every env; auto-reset finished ones.
@@ -39,12 +81,15 @@ class VecEnv:
         list of per-env dicts; finished episodes include an ``"episode"``
         entry with total reward, length, and guess correctness.
         """
-        observations = np.zeros((self.num_envs, self.observation_size))
-        rewards = np.zeros(self.num_envs)
-        dones = np.zeros(self.num_envs)
+        observations, rewards, dones = self._next_buffers()
         infos: List[Dict] = []
         for index, (env, action) in enumerate(zip(self.envs, actions)):
-            observation, reward, done, info = env.step(int(action))
+            fast = self._fast_path[index]
+            if fast:
+                reward, done, info = env.step_into(int(action), observations[index])
+            else:
+                observation, reward, done, info = env.step(int(action))
+                observations[index] = observation
             self._episode_rewards[index] += reward
             self._episode_lengths[index] += 1
             if done:
@@ -57,8 +102,10 @@ class VecEnv:
                 }
                 self._episode_rewards[index] = 0.0
                 self._episode_lengths[index] = 0
-                observation = env.reset()
-            observations[index] = observation
+                if fast:
+                    env.reset_into(observations[index])
+                else:
+                    observations[index] = env.reset()
             rewards[index] = reward
             dones[index] = float(done)
             infos.append(info)

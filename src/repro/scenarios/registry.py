@@ -1,0 +1,131 @@
+"""The scenario registry behind ``repro.make()``.
+
+Scenarios are registered once (the built-in catalogue lives in
+:mod:`repro.scenarios.builtin`; experiments and users can add their own) and
+constructed by id::
+
+    import repro
+
+    env = repro.make("guessing/lru-4way", seed=3)
+    env = repro.make("guessing/lru-4way", **{"cache.num_ways": 8})
+    factory = repro.make_factory("covert/prime-probe", episode_length=64)
+
+``register`` also supports spec inheritance, deriving a new scenario from a
+registered base::
+
+    repro.register(base="guessing/lru-4way", scenario_id="guessing/lru-8way",
+                   **{"cache.num_ways": 8, "attacker_addr_e": 8})
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.scenarios.spec import ScenarioSpec
+
+ScenarioLike = Union[str, ScenarioSpec]
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: Optional[ScenarioSpec] = None, *, base: Optional[ScenarioLike] = None,
+             scenario_id: Optional[str] = None, overwrite: bool = False,
+             **fields) -> ScenarioSpec:
+    """Register a scenario and return its spec.
+
+    Three calling styles:
+
+    * ``register(spec)`` — register a ready-made :class:`ScenarioSpec`;
+    * ``register(scenario_id="x/y", env=..., cache=..., ...)`` — build the
+      spec from keyword fields;
+    * ``register(base="x/y", scenario_id="x/z", **overrides)`` — inherit from
+      a registered (or given) base spec and apply overrides.
+    """
+    if spec is not None and (base is not None or fields):
+        raise TypeError("pass either a ScenarioSpec or base/fields, not both")
+    if spec is None:
+        if base is not None:
+            base_spec = resolve(base)
+            if scenario_id is None:
+                raise TypeError("deriving from a base requires scenario_id")
+            spec = base_spec.derive(scenario_id, **fields)
+        else:
+            if scenario_id is None:
+                raise TypeError("register() requires a spec or a scenario_id")
+            spec = ScenarioSpec(scenario_id=scenario_id, **fields)
+    if spec.scenario_id in _REGISTRY and not overwrite:
+        raise ValueError(f"scenario {spec.scenario_id!r} is already registered "
+                         "(pass overwrite=True to replace it)")
+    _REGISTRY[spec.scenario_id] = spec
+    return spec
+
+
+def unregister(scenario_id: str) -> None:
+    """Remove a scenario (mainly for tests)."""
+    _REGISTRY.pop(scenario_id, None)
+
+
+def is_registered(scenario_id: str) -> bool:
+    return scenario_id in _REGISTRY
+
+
+def list_scenarios(prefix: str = "") -> List[str]:
+    """Sorted ids of all registered scenarios (optionally filtered by prefix)."""
+    return sorted(sid for sid in _REGISTRY if sid.startswith(prefix))
+
+
+def get_spec(scenario: ScenarioLike) -> ScenarioSpec:
+    """Look up a scenario id (specs pass through unchanged)."""
+    return resolve(scenario)
+
+
+def resolve(scenario: ScenarioLike) -> ScenarioSpec:
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    if isinstance(scenario, str):
+        if scenario not in _REGISTRY:
+            raise KeyError(f"unknown scenario {scenario!r}; "
+                           f"known: {list_scenarios()}")
+        return _REGISTRY[scenario]
+    raise TypeError(f"expected a scenario id or ScenarioSpec, got {type(scenario)!r}")
+
+
+def make(scenario: ScenarioLike, seed: Optional[int] = None,
+         detector: Optional[Any] = None, **overrides):
+    """Build the environment for a scenario, with optional overrides.
+
+    ``seed`` seeds the env (falling back to the spec's own seed); ``detector``
+    is handed to ``svm_detection`` wrappers; every other keyword is a spec
+    override (flat config fields, dotted paths, or whole spec fields — see
+    :meth:`ScenarioSpec.with_overrides`).
+    """
+    spec = resolve(scenario)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    runtime = {"detector": detector} if detector is not None else {}
+    return spec.build(seed=seed, runtime=runtime)
+
+
+def make_factory(scenario: ScenarioLike, detector: Optional[Any] = None,
+                 **overrides) -> Callable[[int], Any]:
+    """A ``factory(seed) -> env`` closure for trainers and vectorized envs."""
+    spec = resolve(scenario)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    runtime = {"detector": detector} if detector is not None else {}
+
+    def factory(seed: int):
+        return spec.build(seed=seed, runtime=dict(runtime))
+
+    factory.spec = spec
+    return factory
+
+
+def as_env_factory(source: Union[ScenarioLike, Callable[[int], Any]],
+                   **overrides) -> Callable[[int], Any]:
+    """Normalize an env source (factory callable, scenario id, or spec) to a factory."""
+    if callable(source) and not isinstance(source, ScenarioSpec):
+        if overrides:
+            raise TypeError("overrides only apply to scenario ids/specs, not factories")
+        return source
+    return make_factory(source, **overrides)

@@ -348,6 +348,46 @@ class TestEventLog:
     def test_event_log_reset(self):
         log = EventLog()
         log.record_access("attacker", False, 0, 0, "victim")
+        log.record_flush("attacker", 0, 0, True)
         log.reset()
         assert log.conflicts == []
         assert log.total_accesses == 0
+        assert log.flushes == []
+
+    def test_cache_records_clflush_events(self, fa4_lru_config):
+        cache = Cache(fa4_lru_config)
+        cache.access(2, domain="victim")
+        cache.flush(2, domain="attacker")
+        cache.flush(2, domain="attacker")  # already gone: recorded, not resident
+        assert cache.events.flush_count() == 2
+        assert cache.events.flush_count("attacker") == 2
+        assert cache.events.flush_count("victim") == 0
+        first, second = cache.events.flushes
+        assert first.address == 2 and first.resident
+        assert second.address == 2 and not second.resident
+
+    def test_hierarchy_back_invalidations_not_recorded_as_flushes(self, dm4_config):
+        from repro.cache.config import CacheConfig
+        from repro.cache.hierarchy import TwoLevelCache
+
+        hierarchy = TwoLevelCache(dm4_config, CacheConfig.set_associative(4, 2))
+        # Fill one L2 set until it evicts and back-invalidates the L1 copies.
+        for address in (0, 4, 8, 12):
+            hierarchy.access(address, core=0, domain="attacker")
+        for cache in hierarchy.l1_caches.values():
+            assert cache.events.flush_count() == 0
+        # An explicit clflush IS recorded, at the shared L2 (where the
+        # detectors observe).
+        hierarchy.flush(0, domain="attacker")
+        assert hierarchy.l2.events.flush_count("attacker") == 1
+
+    def test_env_flush_action_is_observable_by_detectors(self):
+        import repro
+
+        env = repro.make("known/flush-reload")
+        env.reset()
+        flush_indices = [index for index in range(len(env.actions))
+                         if env.actions.decode(index).kind.name == "FLUSH"]
+        assert flush_indices, "flush_enable scenario must expose flush actions"
+        env.step(flush_indices[0])
+        assert env.backend.events.flush_count("attacker") == 1
