@@ -1,0 +1,179 @@
+"""Environment throughput: per-env object backend vs the SoA batched engine.
+
+Measures aggregate guessing-game steps/sec through :class:`repro.rl.vec_env.VecEnv`
+for the two execution paths —
+
+* ``object``  — per-env object-model caches, stepped in a Python loop
+  (``backend="object"`` forces it);
+* ``soa``     — the collapsed structure-of-arrays batched fast path;
+
+under two workloads —
+
+* ``random`` — uniform-random actions (an untrained agent; episodes end after
+  ~4 steps because a quarter of the actions are guesses, so this workload is
+  reset-dominated);
+* ``replay`` — the canonical prime+probe attack schedule (what a converged
+  agent plays): fill accesses, victim trigger, probe accesses, final guess at
+  the episode-length limit.
+
+Appends one entry to the perf trajectory file ``BENCH_throughput.json`` at the
+repo root, so successive PRs accumulate a throughput history.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_env_throughput.py [--smoke]
+        [--scenario guessing/lru-4way] [--num-envs 1 8 32]
+        [--steps 4000] [--trials 3] [--output BENCH_throughput.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.env.actions import ActionKind
+
+DEFAULT_SCENARIO = "guessing/lru-4way"
+DEFAULT_NUM_ENVS = (1, 8, 32, 128)
+HEADLINE_NUM_ENVS = 32
+
+
+def replay_schedule(scenario: str) -> list:
+    """A full-length attack episode: prime, trigger, probe, guess at the end."""
+    env = repro.make(scenario)
+    access = [i for i, a in enumerate(env.actions) if a.kind is ActionKind.ACCESS]
+    trigger = env.actions.trigger_index
+    guess = env.actions.guess_indices[0]
+    length = env.max_steps
+    schedule = []
+    for step in range(length - 1):
+        if step == len(access):
+            schedule.append(trigger)
+        else:
+            schedule.append(access[step % len(access)])
+    schedule.append(guess)
+    return schedule
+
+
+def _workload_actions(scenario: str, workload: str, steps: int,
+                      num_envs: int, num_actions: int) -> np.ndarray:
+    if workload == "random":
+        rng = np.random.default_rng(0)
+        return rng.integers(num_actions, size=(steps, num_envs))
+    schedule = replay_schedule(scenario)
+    actions = np.empty((steps, num_envs), dtype=np.int64)
+    for i in range(steps):
+        actions[i] = schedule[i % len(schedule)]
+    return actions
+
+
+def _time_one(vec, actions: np.ndarray) -> float:
+    vec.reset()
+    steps = actions.shape[0]
+    start = time.perf_counter()
+    for i in range(steps):
+        vec.step(actions[i])
+    return steps * vec.num_envs / (time.perf_counter() - start)
+
+
+def measure(scenario: str, workload: str, num_envs: int,
+            steps: int, trials: int) -> tuple:
+    """Best-of-``trials`` aggregate env-steps/sec for (object, soa).
+
+    The two backends are timed alternately within each trial so transient
+    machine load hits both, not just one.  Backends are forced explicitly:
+    "auto" would fall back to the object path below the batching threshold,
+    muddying the comparison.
+    """
+    from repro.rl.vec_env import VecEnv
+
+    vec_object = VecEnv(scenario, num_envs=num_envs, backend="object")
+    vec_soa = VecEnv(scenario, num_envs=num_envs, backend="soa")
+    if not vec_soa.batched:
+        raise RuntimeError(f"scenario {scenario!r} did not engage the batched path")
+    actions = _workload_actions(scenario, workload, steps, num_envs,
+                                vec_soa.num_actions)
+    best_object = best_soa = 0.0
+    for _ in range(trials):
+        best_object = max(best_object, _time_one(vec_object, actions))
+        best_soa = max(best_soa, _time_one(vec_soa, actions))
+    return best_object, best_soa
+
+
+def run(scenario: str = DEFAULT_SCENARIO, num_envs=DEFAULT_NUM_ENVS,
+        steps: int = 4000, trials: int = 3) -> dict:
+    """Measure all backend/workload/num_envs combinations; return the entry."""
+    results = []
+    for workload in ("random", "replay"):
+        for count in num_envs:
+            object_rate, soa_rate = measure(scenario, workload, count,
+                                            steps, trials)
+            row = {"workload": workload, "num_envs": count,
+                   "object_steps_per_second": round(object_rate, 1),
+                   "soa_steps_per_second": round(soa_rate, 1),
+                   "speedup": round(soa_rate / object_rate, 2)}
+            results.append(row)
+            print(f"{workload:6s} num_envs={count:3d}  "
+                  f"object={row['object_steps_per_second']:10.0f}/s  "
+                  f"soa={row['soa_steps_per_second']:10.0f}/s  "
+                  f"speedup={row['speedup']:.2f}x")
+    headline = [r for r in results
+                if r["num_envs"] == HEADLINE_NUM_ENVS] or results[-1:]
+    best = max(headline, key=lambda r: r["speedup"])
+    return {
+        "benchmark": "env_throughput",
+        "scenario": scenario,
+        "steps_per_measurement": steps,
+        "trials": trials,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": results,
+        "headline_speedup": best["speedup"],
+        "headline_num_envs": best["num_envs"],
+    }
+
+
+def append_trajectory(entry: dict, output: Path) -> None:
+    """Append one entry to the perf trajectory JSON (a list of entries)."""
+    history = []
+    if output.exists():
+        data = json.loads(output.read_text())
+        history = data.get("entries", [])
+    history.append(entry)
+    output.write_text(json.dumps({"entries": history}, indent=2) + "\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
+    parser.add_argument("--num-envs", type=int, nargs="+",
+                        default=list(DEFAULT_NUM_ENVS))
+    parser.add_argument("--steps", type=int, default=4000)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: fewer steps, one trial, 32 envs only")
+    parser.add_argument("--output", default=None,
+                        help="perf trajectory JSON (default: BENCH_throughput.json "
+                             "at the repo root)")
+    args = parser.parse_args()
+    if args.smoke:
+        args.steps = min(args.steps, 500)
+        args.trials = 1
+        args.num_envs = [HEADLINE_NUM_ENVS]
+    entry = run(args.scenario, tuple(args.num_envs), args.steps, args.trials)
+    if args.smoke:
+        entry["scale"] = "smoke"
+    output = Path(args.output) if args.output else \
+        Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+    append_trajectory(entry, output)
+    print(f"headline speedup at num_envs={entry['headline_num_envs']}: "
+          f"{entry['headline_speedup']:.2f}x -> {output}")
+
+
+if __name__ == "__main__":
+    main()

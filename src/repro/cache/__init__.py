@@ -27,6 +27,7 @@ from repro.cache.mapping import ModuloMapping, RandomPermutationMapping, make_ma
 from repro.cache.plcache import PLCache
 from repro.cache.hierarchy import TwoLevelCache
 from repro.cache.events import ConflictEvent, EventLog, FlushEvent
+from repro.cache.soa import SOA_POLICIES, SoACacheEngine
 
 __all__ = [
     "CacheConfig",
@@ -52,4 +53,6 @@ __all__ = [
     "ConflictEvent",
     "EventLog",
     "FlushEvent",
+    "SoACacheEngine",
+    "SOA_POLICIES",
 ]

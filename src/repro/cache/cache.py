@@ -52,7 +52,9 @@ class Cache:
         self.policies = [make_policy(config.rep_policy, config.num_ways, rng=self.rng)
                          for _ in range(config.num_sets)]
         self.prefetcher = make_prefetcher(config.prefetcher)
-        self.events = EventLog()
+        # The rolling window (scenario override ``cache.max_events``) keeps
+        # long RL runs from growing the log without bound.
+        self.events = EventLog(max_events=config.max_events)
         self.access_count = 0
         self.miss_count = 0
 

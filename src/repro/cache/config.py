@@ -25,6 +25,7 @@ class CacheConfig:
     miss_latency: int = 40
     lockable: bool = False
     rng_seed: int = 0
+    max_events: Optional[int] = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -34,6 +35,8 @@ class CacheConfig:
             raise ValueError("num_ways must be >= 1")
         if self.hit_latency >= self.miss_latency:
             raise ValueError("hit_latency must be smaller than miss_latency")
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError("max_events must be None or >= 1")
 
     @property
     def num_blocks(self) -> int:

@@ -41,16 +41,29 @@ class FlushEvent:
 
 @dataclass
 class EventLog:
-    """Accumulates detection-relevant events during a cache run."""
+    """Accumulates detection-relevant events during a cache run.
+
+    ``max_events`` bounds the ``conflicts`` and ``flushes`` lists as rolling
+    windows (oldest events dropped first) so million-step RL runs cannot grow
+    the log without limit.  It is off (None) by default because detectors
+    consume complete episode traces; long-running training enables it via a
+    scenario override (``cache.max_events``).  Scalar counters keep counting
+    past the window.
+    """
 
     conflicts: List[ConflictEvent] = field(default_factory=list)
     flushes: List[FlushEvent] = field(default_factory=list)
     victim_misses: int = 0
     attacker_misses: int = 0
     total_accesses: int = 0
+    max_events: Optional[int] = None
     _line_history: Dict[Tuple[int, int], List[str]] = field(default_factory=dict)
     cyclic_interference: Dict[Tuple[int, int], int] = field(default_factory=dict)
     _step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError("max_events must be None or >= 1")
 
     def reset(self) -> None:
         self.conflicts.clear()
@@ -78,6 +91,7 @@ class EventLog:
             self.conflicts.append(ConflictEvent(
                 evictor=domain, owner=evicted_domain, address=-1,
                 set_index=set_index, step=self._step))
+            self._trim(self.conflicts)
         self._track_cyclic(domain, set_index, way)
 
     def record_flush(self, domain: Optional[str], address: int, set_index: int,
@@ -87,6 +101,12 @@ class EventLog:
         self.flushes.append(FlushEvent(domain=domain, address=address,
                                        set_index=set_index, resident=resident,
                                        step=self._step))
+        self._trim(self.flushes)
+
+    def _trim(self, events: List) -> None:
+        """Enforce the rolling ``max_events`` window on one event list."""
+        if self.max_events is not None and len(events) > self.max_events:
+            del events[: len(events) - self.max_events]
 
     def flush_count(self, domain: Optional[str] = None) -> int:
         """Number of recorded flushes, optionally filtered by domain."""

@@ -34,7 +34,14 @@ class ReplacementPolicy:
         raise NotImplementedError
 
     def victim(self, valid_ways: List[bool], locked_ways: FrozenSet[int] = frozenset()) -> int:
-        """Pick a way to fill.  Invalid ways are preferred; locked ways are skipped."""
+        """Pick a way to fill.  Invalid ways are preferred; locked ways are skipped.
+
+        Raises :class:`RuntimeError` when every way is locked — there is no
+        legal victim, and silently returning one would corrupt a locked line.
+        """
+        if len(locked_ways) >= self.num_ways:
+            raise RuntimeError(
+                f"cannot choose a victim: all {self.num_ways} ways are locked")
         for way in range(self.num_ways):
             if not valid_ways[way] and way not in locked_ways:
                 return way
@@ -63,14 +70,15 @@ class LRUPolicy(ReplacementPolicy):
 
     def reset(self) -> None:
         # Start with distinct ages so the victim order is well defined.
-        self.ages = list(range(self.num_ways))
+        self.ages = np.arange(self.num_ways, dtype=np.int64)
 
     def _touch(self, way: int) -> None:
-        old_age = self.ages[way]
-        for other in range(self.num_ways):
-            if self.ages[other] < old_age:
-                self.ages[other] += 1
-        self.ages[way] = 0
+        # One vectorized pass: every younger line ages by one, the touched
+        # way becomes age 0 (the old per-way Python loop made each access
+        # O(ways), i.e. O(ways^2) across a set fill).
+        ages = self.ages
+        ages += ages < ages[way]
+        ages[way] = 0
 
     def on_fill(self, way: int) -> None:
         self._check_way(way)
@@ -81,13 +89,14 @@ class LRUPolicy(ReplacementPolicy):
         self._touch(way)
 
     def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        # victim() guarantees at least one unlocked way remains.
+        if not locked_ways:
+            return int(self.ages.argmax())
         candidates = [w for w in range(self.num_ways) if w not in locked_ways]
-        if not candidates:
-            raise RuntimeError("all ways locked; cannot choose a victim")
         return max(candidates, key=lambda w: self.ages[w])
 
     def state_snapshot(self) -> tuple:
-        return tuple(self.ages)
+        return tuple(int(age) for age in self.ages)
 
 
 class PLRUPolicy(ReplacementPolicy):
@@ -155,10 +164,8 @@ class PLRUPolicy(ReplacementPolicy):
         victim = self._follow()
         if victim not in locked_ways:
             return victim
-        candidates = [w for w in range(self.num_ways) if w not in locked_ways]
-        if not candidates:
-            raise RuntimeError("all ways locked; cannot choose a victim")
-        return candidates[0]
+        # victim() guarantees at least one unlocked way remains.
+        return min(w for w in range(self.num_ways) if w not in locked_ways)
 
     def state_snapshot(self) -> tuple:
         return tuple(self.bits)
@@ -193,9 +200,8 @@ class RRIPPolicy(ReplacementPolicy):
         self.rrpv[way] = 0
 
     def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        # victim() guarantees at least one unlocked way remains.
         candidates = [w for w in range(self.num_ways) if w not in locked_ways]
-        if not candidates:
-            raise RuntimeError("all ways locked; cannot choose a victim")
         while True:
             for way in candidates:
                 if self.rrpv[way] >= self.max_rrpv:
@@ -222,9 +228,8 @@ class RandomPolicy(ReplacementPolicy):
         self._check_way(way)
 
     def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        # victim() guarantees at least one unlocked way remains.
         candidates = [w for w in range(self.num_ways) if w not in locked_ways]
-        if not candidates:
-            raise RuntimeError("all ways locked; cannot choose a victim")
         return int(self.rng.choice(candidates))
 
 
@@ -238,14 +243,12 @@ class MRUPolicy(ReplacementPolicy):
         self.reset()
 
     def reset(self) -> None:
-        self.ages = list(range(self.num_ways))
+        self.ages = np.arange(self.num_ways, dtype=np.int64)
 
     def _touch(self, way: int) -> None:
-        old_age = self.ages[way]
-        for other in range(self.num_ways):
-            if self.ages[other] < old_age:
-                self.ages[other] += 1
-        self.ages[way] = 0
+        ages = self.ages
+        ages += ages < ages[way]
+        ages[way] = 0
 
     def on_fill(self, way: int) -> None:
         self._check_way(way)
@@ -256,13 +259,14 @@ class MRUPolicy(ReplacementPolicy):
         self._touch(way)
 
     def _select_victim(self, locked_ways: FrozenSet[int]) -> int:
+        # victim() guarantees at least one unlocked way remains.
+        if not locked_ways:
+            return int(self.ages.argmin())
         candidates = [w for w in range(self.num_ways) if w not in locked_ways]
-        if not candidates:
-            raise RuntimeError("all ways locked; cannot choose a victim")
         return min(candidates, key=lambda w: self.ages[w])
 
     def state_snapshot(self) -> tuple:
-        return tuple(self.ages)
+        return tuple(int(age) for age in self.ages)
 
 
 REPLACEMENT_POLICIES: Dict[str, Type[ReplacementPolicy]] = {

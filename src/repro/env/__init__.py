@@ -14,11 +14,13 @@ from repro.env.spaces import Discrete, Box
 from repro.env.backends import (
     CacheBackend,
     SimulatedCacheBackend,
+    SoACacheBackend,
     HierarchyBackend,
     make_backend,
 )
 from repro.env.protocol import Env, BatchSteppable
 from repro.env.guessing_game import CacheGuessingGameEnv, StepResult
+from repro.env.batched_env import BatchedGuessingGame, spec_supports_batching
 from repro.env.covert_env import MultiGuessCovertEnv
 from repro.env.wrappers import (
     EnvWrapper,
@@ -40,12 +42,15 @@ __all__ = [
     "Box",
     "CacheBackend",
     "SimulatedCacheBackend",
+    "SoACacheBackend",
     "HierarchyBackend",
     "make_backend",
     "Env",
     "BatchSteppable",
     "CacheGuessingGameEnv",
     "StepResult",
+    "BatchedGuessingGame",
+    "spec_supports_batching",
     "MultiGuessCovertEnv",
     "EnvWrapper",
     "MissCountDetectionWrapper",

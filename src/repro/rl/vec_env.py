@@ -10,13 +10,24 @@ scenario id (``"guessing/lru-4way"``), or a :class:`~repro.scenarios.ScenarioSpe
 ids and specs are resolved through the scenario registry, so the vectorized
 path and ``repro.make()`` construct identical environments.
 
-The hot path is allocation-free: observation/reward/done buffers are
-preallocated once, and envs that advertise ``supports_step_into`` write their
-observations directly into rows of the batch buffer (wrappers fall back to the
-generic ``step()`` path so their reward shaping is preserved).  Returned
-arrays are double-buffered — each is reused two calls later, which is exactly
-the lifetime the PPO rollout loop needs; callers keeping references longer
-must copy.
+Two hot paths exist, picked automatically:
+
+* **Batched SoA fast path** — when the source is a scenario whose spec is
+  SoA-capable (plain guessing env, no wrappers/PL locks/hierarchy/prefetcher,
+  supported policy and mapping), the N per-env objects are collapsed into one
+  :class:`~repro.env.batched_env.BatchedGuessingGame` that advances the whole
+  batch per step in a handful of numpy kernels.  This is bit-identical to the
+  per-env path (same seeds, same RNG streams) but roughly an order of
+  magnitude faster.  Opt out per scenario with ``backend="object"``.
+* **Per-env fallback** — wrapped/PL/hierarchy envs (and factory callables) are
+  stepped one by one; envs that advertise ``supports_step_into`` write their
+  observations directly into rows of the batch buffer.
+
+Returned arrays are double-buffered — each is reused two calls later, which is
+exactly the lifetime the PPO rollout loop needs; callers keeping references
+longer must copy.  The ``infos`` list is likewise reused across steps and only
+materializes a fresh dict (with the ``"episode"`` summary) for envs whose
+episode just ended.
 """
 
 from __future__ import annotations
@@ -24,6 +35,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Union
 
 import numpy as np
+
+# Shared placeholder for steps with nothing to report; treat as read-only.
+_EMPTY_INFO: Dict = {}
 
 
 class VecEnv:
@@ -36,13 +50,37 @@ class VecEnv:
         from repro.scenarios import as_env_factory
 
         env_factory = as_env_factory(env_source, **scenario_overrides)
-        self.envs = [env_factory(index) for index in range(num_envs)]
+        self._env_factory = env_factory
         self.num_envs = num_envs
-        first = self.envs[0]
-        self.observation_size = first.observation_size
-        self.num_actions = first.action_space.n
-        self._fast_path = [bool(getattr(env, "supports_step_into", False))
-                           for env in self.envs]
+        self._batched = None
+        self._envs = None
+        spec = getattr(env_factory, "spec", None)
+        if spec is not None:
+            from repro.env.batched_env import (BatchedGuessingGame,
+                                               spec_supports_batching)
+
+            if spec_supports_batching(spec):
+                config = spec.build_config()
+                # Below ~4 envs the per-op numpy overhead of the batched
+                # kernels loses to the object path; engage only where it
+                # wins, unless the scenario explicitly asks for the SoA
+                # backend.
+                if num_envs >= 4 or config.backend == "soa":
+                    # factory(index) builds spec.build(seed=index); the
+                    # batched game reproduces exactly those N envs.
+                    self._batched = BatchedGuessingGame(config, num_envs,
+                                                        seeds=range(num_envs))
+        if self._batched is not None:
+            self.observation_size = self._batched.observation_size
+            self.num_actions = self._batched.num_actions
+            self._fast_path = [True] * num_envs
+        else:
+            self._envs = [env_factory(index) for index in range(num_envs)]
+            first = self._envs[0]
+            self.observation_size = first.observation_size
+            self.num_actions = first.action_space.n
+            self._fast_path = [bool(getattr(env, "supports_step_into", False))
+                               for env in self._envs]
         # Double-buffered outputs: the batch returned by one call stays valid
         # while the next call fills the other buffer (the PPO loop holds the
         # previous observation batch across exactly one step).
@@ -55,6 +93,26 @@ class VecEnv:
         self._flip = 0
         self._episode_rewards = np.zeros(num_envs)
         self._episode_lengths = np.zeros(num_envs, dtype=np.int64)
+        self._infos: List[Dict] = [_EMPTY_INFO] * num_envs
+        self._info_touched: List[int] = []
+
+    @property
+    def batched(self) -> bool:
+        """Whether the collapsed SoA batched fast path is active."""
+        return self._batched is not None
+
+    @property
+    def envs(self) -> list:
+        """Per-env objects for introspection (action space, configs, replay).
+
+        Under the batched fast path these are materialized on demand as
+        *fresh* envs from the factory — they share the scenario but not the
+        live batch state, which lives in the SoA arrays.  Step them only for
+        replay/extraction (which resets first), not to observe the batch.
+        """
+        if self._envs is None:
+            self._envs = [self._env_factory(index) for index in range(self.num_envs)]
+        return self._envs
 
     def _next_buffers(self) -> tuple:
         buffers = (self._observation_buffers[self._flip],
@@ -67,6 +125,9 @@ class VecEnv:
         self._episode_rewards[:] = 0.0
         self._episode_lengths[:] = 0
         observations, _rewards, _dones = self._next_buffers()
+        if self._batched is not None:
+            self._batched.reset_into(observations)
+            return observations
         for index, env in enumerate(self.envs):
             if self._fast_path[index]:
                 env.reset_into(observations[index])
@@ -78,11 +139,23 @@ class VecEnv:
         """Step every env; auto-reset finished ones.
 
         Returns (observations, rewards, dones, infos) where ``infos`` is a
-        list of per-env dicts; finished episodes include an ``"episode"``
-        entry with total reward, length, and guess correctness.
+        reused list of per-env dicts; finished episodes get a fresh dict with
+        an ``"episode"`` entry (total reward, length, guess correctness).
+
+        Info contract: only the ``"episode"`` entry (and ``"correct"`` on
+        guess endings) is guaranteed.  The per-env fallback additionally
+        surfaces the env's own step info (``action``/``secret``/``hit``/
+        ``trace``...), but the batched fast path shares one empty placeholder
+        for non-finished envs — consumers needing per-step introspection
+        should force ``backend="object"`` or use a single env.
         """
         observations, rewards, dones = self._next_buffers()
-        infos: List[Dict] = []
+        infos = self._infos
+        for index in self._info_touched:
+            infos[index] = _EMPTY_INFO
+        self._info_touched.clear()
+        if self._batched is not None:
+            return self._step_batched(actions, observations, rewards, dones)
         for index, (env, action) in enumerate(zip(self.envs, actions)):
             fast = self._fast_path[index]
             if fast:
@@ -108,7 +181,33 @@ class VecEnv:
                     observations[index] = env.reset()
             rewards[index] = reward
             dones[index] = float(done)
-            infos.append(info)
+            infos[index] = info
+            self._info_touched.append(index)
+        return observations, rewards, dones, infos
+
+    def _step_batched(self, actions: np.ndarray, observations: np.ndarray,
+                      rewards: np.ndarray, dones: np.ndarray) -> tuple:
+        correct, guessed = self._batched.step_into(actions, observations,
+                                                   rewards, dones)
+        self._episode_rewards += rewards
+        self._episode_lengths += 1
+        infos = self._infos
+        done_indices = np.flatnonzero(dones)
+        for i in done_indices:
+            index = int(i)
+            info: Dict = {"episode": {
+                "reward": float(self._episode_rewards[index]),
+                "length": int(self._episode_lengths[index]),
+                "correct": bool(correct[index]),
+                "guessed": bool(guessed[index]),
+            }}
+            if guessed[index]:
+                info["correct"] = bool(correct[index])
+            infos[index] = info
+            self._info_touched.append(index)
+        if done_indices.size:
+            self._episode_rewards[done_indices] = 0.0
+            self._episode_lengths[done_indices] = 0
         return observations, rewards, dones, infos
 
     @property
