@@ -1,13 +1,21 @@
-"""Benchmark: Table I — the known-attack catalogue verified on the simulator."""
+"""Benchmark: Table I — the known-attack catalogue verified on the simulator.
+
+Runs through the campaign API (``repro.run``), so the benchmark also covers
+the experiment-registry expansion and per-cell artifact writes.
+"""
 
 import pytest
 
+import repro
 from benchmarks._common import emit
-from repro.experiments import table1_known_attacks
 
 
 @pytest.mark.table
-def test_table1_known_attacks(benchmark):
-    rows = benchmark(table1_known_attacks.run)
-    emit("Table I", table1_known_attacks.format_results(rows))
-    assert all(row["accuracy"] == 1.0 for row in rows)
+def test_table1_known_attacks(benchmark, tmp_path_factory):
+    def campaign():
+        out_dir = tmp_path_factory.mktemp("table1")
+        return repro.run("table1", scale="smoke", out_dir=out_dir)
+
+    result = benchmark(campaign)
+    emit("Table I", result.format_results())
+    assert all(row["accuracy"] == 1.0 for row in result.rows)

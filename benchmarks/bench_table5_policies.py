@@ -1,19 +1,25 @@
 """Benchmark: Table V — RL training statistics per replacement policy.
 
+Runs through the campaign API (``repro.run``) with a worker pool, so the
+timing covers exactly what a user invoking ``python -m repro run table5``
+pays: cell expansion, parallel training, and artifact persistence.
+
 Expected shape (matching the paper): RRIP takes more epochs to converge and
 yields a longer attack sequence than LRU and PLRU.
 """
 
 import pytest
 
+import repro
 from benchmarks._common import emit, run_once
-from repro.experiments import table5
 
 
 @pytest.mark.table
-def test_table5_replacement_policies(benchmark, bench_scale):
-    rows = run_once(benchmark, table5.run, scale=bench_scale)
-    emit("Table V", table5.format_results(rows))
+def test_table5_replacement_policies(benchmark, bench_scale, tmp_path):
+    campaign = run_once(benchmark, repro.run, "table5", scale=bench_scale,
+                        workers=3, out_dir=tmp_path / "table5")
+    rows = campaign.rows
+    emit("Table V", campaign.format_results())
     by_policy = {row["replacement_policy"]: row for row in rows}
     assert set(by_policy) == {"lru", "plru", "rrip"}
     # RRIP requires at least as much training as the easiest of LRU/PLRU.

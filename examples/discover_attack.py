@@ -8,7 +8,13 @@ LRU and PLRU admit short attacks, RRIP needs extra accesses to control the
 re-reference prediction values, and the random policy only admits probabilistic
 attacks.
 
-Run with:  python examples/discover_attack.py --policy rrip [--updates 400]
+This example drives the study through the campaign API: it registers a
+one-off :class:`repro.ExperimentSpec` whose single cell is the chosen
+(policy, ways) configuration, then ``repro.run()``s it — so the training is
+checkpointed, resumable (re-run after Ctrl-C to continue), and leaves its
+history/extraction artifacts under ``runs/``.
+
+Run with:  python examples/discover_attack.py --policy rrip [--scale bench]
 """
 
 from __future__ import annotations
@@ -16,49 +22,44 @@ from __future__ import annotations
 import argparse
 
 import repro
-from repro.analysis.classifier import classify_sequence
-from repro.attacks.sequences import AttackSequence
-from repro.experiments.common import BENCH
-from repro.rl import PPOTrainer
-from repro.rl.trainer import STEPS_PER_EPOCH
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--policy", choices=("lru", "plru", "rrip", "random"), default="lru")
     parser.add_argument("--ways", type=int, default=4)
-    parser.add_argument("--updates", type=int, default=BENCH.max_updates)
+    parser.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--root", default="runs")
     arguments = parser.parse_args()
 
-    # Resolve the scenario for the chosen policy; override the associativity
-    # (and the address range / window that depend on it) when not 4-way.
-    overrides = {"window_size": 3 * arguments.ways, "max_steps": 3 * arguments.ways}
-    if arguments.ways != 4:
-        overrides.update({"cache.num_ways": arguments.ways,
-                          "attacker_addr_e": arguments.ways})
-    factory = repro.make_factory(f"guessing/{arguments.policy}-4way", **overrides)
-    trainer = PPOTrainer(factory, BENCH.ppo_config(), hidden_sizes=BENCH.hidden_sizes,
-                         seed=arguments.seed)
+    experiment_id = f"discover-{arguments.policy}-{arguments.ways}way"
+    if not repro.runs.is_experiment_registered(experiment_id):
+        repro.register_experiment(
+            experiment_id=experiment_id,
+            description=f"Discover an attack against {arguments.policy.upper()} "
+                        f"({arguments.ways}-way set, victim accesses 0 or nothing)",
+            driver="repro.experiments.table5",
+            columns=("replacement_policy", "epochs_to_converge", "episode_length",
+                     "accuracy", "converged_runs", "runs"),
+            grid=({"policy": arguments.policy, "num_ways": arguments.ways},),
+            base_seed=arguments.seed,
+        )
+
     print(f"Training against the {arguments.policy.upper()} policy "
-          f"({arguments.ways}-way set, victim accesses 0 or nothing)...")
-    result = trainer.train(max_updates=arguments.updates, eval_every=10,
-                           eval_episodes=50, target_accuracy=0.95)
+          f"({arguments.ways}-way set)...  (re-run to resume if interrupted)")
+    campaign = repro.run(experiment_id, scale=arguments.scale, root=arguments.root)
 
-    epochs = result.epochs_to_converge if result.converged else result.epochs_trained
-    print(f"\nconverged            : {result.converged}")
-    print(f"epochs (3000 steps)  : {epochs:.1f}")
-    print(f"guess accuracy       : {result.final_accuracy:.3f}")
-    print(f"mean episode length  : {result.final_episode_length:.1f}")
-    print(f"environment steps    : {result.env_steps} "
-          f"({result.env_steps / STEPS_PER_EPOCH:.1f} epochs trained)")
-
-    extraction = result.extraction or trainer.extract()
-    print("\nAttack sequence found by the agent:")
-    print(f"  {extraction.render()}")
-    category = classify_sequence(AttackSequence.from_labels(extraction.representative),
-                                 factory(0).config)
-    print(f"Attack category: {category.value}")
+    print()
+    print(campaign.format_results())
+    row = campaign.rows[0]
+    print(f"\nepochs (3000 steps)  : {row['epochs_to_converge']:.1f}")
+    print(f"guess accuracy       : {row['accuracy']:.3f}")
+    if row["example_sequence"]:
+        print(f"attack sequence      : {row['example_sequence']}")
+    else:
+        print("no attack extracted — try --scale paper (or a smaller --ways)")
+    print(f"\nartifacts: {campaign.out_dir}/cells/")
 
 
 if __name__ == "__main__":

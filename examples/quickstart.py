@@ -62,6 +62,9 @@ def main() -> None:
         AttackSequence.from_labels(result.extraction.representative),
         repro.make(arguments.scenario, seed=0).config)
     print(f"\nAttack category: {category.value}")
+    print("\nNext: run whole paper tables as resumable campaigns, e.g.\n"
+          "  python -m repro run table5 --scale smoke --workers 4\n"
+          "  python examples/run_campaign.py --experiment table1")
 
 
 if __name__ == "__main__":

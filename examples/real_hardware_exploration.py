@@ -14,16 +14,13 @@ Run with:  python examples/real_hardware_exploration.py --machine "Core i7-6700:
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
 import numpy as np
 
-import repro
-from repro.analysis.classifier import classify_sequence
-from repro.attacks.sequences import AttackSequence
-from repro.experiments.common import BENCH
+from repro.experiments import table3
 from repro.hardware import CacheQueryInterface, get_machine, list_machines
-from repro.rl import PPOTrainer
-from repro.scenarios import machine_scenario_id
+from repro.runs import CellContext
 
 
 def probe_with_cachequery(machine_key: str) -> None:
@@ -46,28 +43,29 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--machine", default="Core i7-6700:L2",
                         help=f"one of: {', '.join(list_machines())}")
-    parser.add_argument("--updates", type=int, default=BENCH.max_updates)
+    parser.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out-dir", default="runs/real-hardware",
+                        help="cell artifact directory (checkpoints enable resume)")
     arguments = parser.parse_args()
 
     probe_with_cachequery(arguments.machine)
 
     machine = get_machine(arguments.machine)
-    factory = repro.make_factory(machine_scenario_id(machine.key),
-                                 attacker_addresses=machine.num_ways + 1)
-    trainer = PPOTrainer(factory, BENCH.ppo_config(), hidden_sizes=BENCH.hidden_sizes,
-                         seed=arguments.seed)
-    print(f"Training the RL agent against the blackbox {machine.name} {machine.cache_level}...")
-    result = trainer.train(max_updates=arguments.updates, eval_every=10, eval_episodes=40,
-                           target_accuracy=0.9)
+    print(f"Training the RL agent against the blackbox {machine.name} "
+          f"{machine.cache_level}...  (interrupt and re-run to resume)")
+    # The Table III driver computes one row per machine; the CellContext makes
+    # the training checkpointed/resumable and persists its artifacts.
+    ctx = CellContext(Path(arguments.out_dir) / machine.key.replace(":", "-"),
+                      checkpoint_every=2)
+    row = table3.run_cell({"machine": machine.key}, arguments.scale,
+                          seed=arguments.seed, ctx=ctx)
 
-    print(f"\nconverged        : {result.converged}")
-    print(f"guess accuracy   : {result.final_accuracy:.3f}")
-    extraction = result.extraction or trainer.extract()
-    print("attack sequence  :", extraction.render())
-    category = classify_sequence(AttackSequence.from_labels(extraction.representative),
-                                 factory(0).config)
-    print(f"attack category  : {category.value}")
+    print(f"\nconverged        : {row['converged']}")
+    print(f"guess accuracy   : {row['accuracy']:.3f}")
+    print(f"attack sequence  : {row['sequence']}")
+    print(f"attack category  : {row['attack_category']}")
+    print(f"artifacts        : {ctx.cell_dir}/")
 
 
 if __name__ == "__main__":

@@ -22,9 +22,16 @@ Environments are constructed declaratively through the scenario registry::
     repro.list_scenarios()                     # every registered scenario id
     env = repro.make("guessing/lru-4way")      # build one, gym-style
     env = repro.make("guessing/lru-4way", seed=3, **{"cache.num_ways": 8})
+
+and whole training campaigns through the experiment registry (see
+:mod:`repro.runs`)::
+
+    repro.list_experiments()                   # every registered experiment id
+    campaign = repro.run("table5", scale="smoke", workers=4)
+    print(campaign.format_results())           # rows + persistent run artifact
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.cache import Cache, CacheConfig
 from repro.env import CacheGuessingGameEnv, EnvConfig, RewardConfig
@@ -37,20 +44,34 @@ from repro.scenarios import (
     make_factory,
     register,
 )
+from repro.runs import (
+    CampaignResult,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    run,
+)
 
 __all__ = [
     "__version__",
     "Cache",
     "CacheConfig",
     "CacheGuessingGameEnv",
+    "CampaignResult",
     "EnvConfig",
+    "ExperimentSpec",
     "RewardConfig",
     "PPOConfig",
     "PPOTrainer",
     "ScenarioSpec",
+    "get_experiment",
     "get_spec",
+    "list_experiments",
     "list_scenarios",
     "make",
     "make_factory",
     "register",
+    "register_experiment",
+    "run",
 ]

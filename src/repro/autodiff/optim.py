@@ -24,6 +24,16 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------- state I/O
+    def state_dict(self) -> dict:
+        """Serializable internal state (slot buffers, step counts)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore internal state captured by :meth:`state_dict`."""
+        if state:
+            raise ValueError(f"unexpected optimizer state: {sorted(state)}")
+
     def clip_grad_norm(self, max_norm: float) -> float:
         """Clip gradients in place to a global L2 norm; return the pre-clip norm."""
         total = 0.0
@@ -64,6 +74,17 @@ class SGD(Optimizer):
                 grad = self._velocity[index]
             parameter.data -= self.lr * grad
 
+    def state_dict(self) -> dict:
+        return {"velocity": [None if v is None else v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = state["velocity"]
+        if len(velocity) != len(self.parameters):
+            raise ValueError(f"velocity count mismatch: {len(velocity)} vs "
+                             f"{len(self.parameters)} parameters")
+        self._velocity = [None if v is None else np.array(v, dtype=np.float64)
+                          for v in velocity]
+
 
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba, 2015)."""
@@ -95,3 +116,16 @@ class Adam(Optimizer):
             m_hat = self._m[index] / bias1
             v_hat = self._v[index] / bias2
             parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"step": self._step,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self.parameters) or len(state["v"]) != len(self.parameters):
+            raise ValueError(f"moment count mismatch: {len(state['m'])}/{len(state['v'])} vs "
+                             f"{len(self.parameters)} parameters")
+        self._step = int(state["step"])
+        self._m = [np.array(m, dtype=np.float64) for m in state["m"]]
+        self._v = [np.array(v, dtype=np.float64) for v in state["v"]]

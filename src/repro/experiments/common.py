@@ -5,15 +5,28 @@ experiment accepts an :class:`ExperimentScale` that shrinks the training
 budget (and, for the most expensive studies, the cache size) while preserving
 the comparisons the paper makes.  ``PAPER`` approximates the original budgets;
 ``BENCH`` is what the benchmark harness runs; ``SMOKE`` is for tests.
+
+Scale resolution is normalized in one place: every ``run()`` /
+``run_cell()`` entry point accepts a :data:`ScaleLike` — either an
+:class:`ExperimentScale` instance or a preset name string — and calls
+:func:`resolve_scale` exactly once at the boundary.
+
+The training helpers optionally take a ``ctx`` (a
+:class:`repro.runs.CellContext`) that makes them *resumable*: checkpoints are
+saved every few updates, an interrupted training resumes from its checkpoint,
+and a finished training is memoized to disk (result JSON + history JSONL +
+extraction JSON + policy pickle) so a resumed campaign cell never retrains
+completed work.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.rl.policy import ActorCriticPolicy
 from repro.rl.ppo import PPOConfig
 from repro.rl.trainer import PPOTrainer, TrainingResult
 from repro.scenarios import ScenarioSpec
@@ -57,6 +70,19 @@ class ExperimentScale:
     def with_overrides(self, **overrides) -> "ExperimentScale":
         return replace(self, **overrides)
 
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict for campaign manifests; round-trips via from_dict."""
+        data = asdict(self)
+        data["hidden_sizes"] = list(self.hidden_sizes)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentScale":
+        data = dict(data)
+        data["hidden_sizes"] = tuple(data.get("hidden_sizes", (128, 128)))
+        return cls(**data)
+
 
 SMOKE = ExperimentScale(name="smoke", max_updates=6, horizon=64, num_envs=4,
                         eval_episodes=10, runs=1, hidden_sizes=(32, 32))
@@ -67,41 +93,114 @@ PAPER = ExperimentScale(name="paper", max_updates=800, horizon=512, num_envs=8,
 
 SCALES: Dict[str, ExperimentScale] = {"smoke": SMOKE, "bench": BENCH, "paper": PAPER}
 
+# A scale argument as the experiment entry points accept it: a preset name
+# string or a ready ExperimentScale.
+ScaleLike = Union[ExperimentScale, str]
 
-def get_scale(name_or_scale) -> ExperimentScale:
-    """Accept either an :class:`ExperimentScale` or a preset name."""
-    if isinstance(name_or_scale, ExperimentScale):
-        return name_or_scale
-    if name_or_scale in SCALES:
-        return SCALES[name_or_scale]
-    raise KeyError(f"unknown scale {name_or_scale!r}; choose from {sorted(SCALES)}")
+
+def resolve_scale(scale: Optional[ScaleLike]) -> ExperimentScale:
+    """Normalize a :data:`ScaleLike` (or None, meaning ``bench``) to a scale."""
+    if scale is None:
+        return BENCH
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale in SCALES:
+        return SCALES[scale]
+    raise KeyError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+
+
+# Backwards-compatible alias (pre-campaign-API name).
+get_scale = resolve_scale
+
+
+@dataclass
+class TrainedPolicyHandle:
+    """What a memoized training leaves behind for further evaluation.
+
+    :func:`train_agent_with_trainer` returns either a live
+    :class:`~repro.rl.trainer.PPOTrainer` or — when a campaign cell resumes
+    past an already-finished training — this handle wrapping the persisted
+    policy.  Both expose ``.policy``, which is all the covert-channel
+    evaluators need.
+    """
+
+    policy: ActorCriticPolicy
+
+
+def _train(env_source: EnvSource, scale: ExperimentScale, seed: int,
+           target_accuracy: float, ppo_overrides: Optional[dict],
+           ctx=None, name: str = "train") -> tuple:
+    """Train one agent, with optional checkpoint/resume/memoization via ``ctx``.
+
+    Returns ``(result, trainer_or_handle)``.  Without a ctx this is exactly
+    the legacy in-memory path.  With a ctx:
+
+    * a finished training is memoized under ``<name>.result.json`` (plus
+      history JSONL, extraction JSON, and the policy pickle) and returned
+      without retraining;
+    * an in-flight training resumes from ``<name>.checkpoint.pkl``;
+    * a checkpoint is saved every ``ctx.checkpoint_every`` updates.
+    """
+    if ctx is not None:
+        # Refuse to reuse artifacts produced under different parameters (the
+        # campaign runner's manifest guards whole campaigns; this guards
+        # standalone CellContext use).
+        ctx.ensure_training_meta(name, {
+            "scale": scale.to_dict(), "seed": seed,
+            "target_accuracy": target_accuracy,
+            "ppo_overrides": ppo_overrides or {},
+        })
+        memo = ctx.load_training(name)
+        if memo is not None:
+            return memo, TrainedPolicyHandle(ctx.load_policy(name))
+    checkpoint_path = None
+    if ctx is not None:
+        checkpoint_path = ctx.checkpoint_path(name)
+        if checkpoint_path.exists():
+            trainer = PPOTrainer.load_checkpoint(checkpoint_path)
+        else:
+            trainer = PPOTrainer(env_source, scale.ppo_config(**(ppo_overrides or {})),
+                                 hidden_sizes=scale.hidden_sizes, seed=seed)
+        trainer.add_update_callback(ctx.checkpoint_callback(checkpoint_path))
+    else:
+        trainer = PPOTrainer(env_source, scale.ppo_config(**(ppo_overrides or {})),
+                             hidden_sizes=scale.hidden_sizes, seed=seed)
+    result = trainer.train(max_updates=scale.max_updates, target_accuracy=target_accuracy,
+                           eval_every=10, eval_episodes=scale.eval_episodes)
+    if ctx is not None:
+        ctx.save_training(name, result, trainer.policy)
+    return result, trainer
 
 
 def train_agent(env_source: EnvSource,
-                scale: ExperimentScale, seed: int = 0,
+                scale: ScaleLike, seed: int = 0,
                 target_accuracy: float = 0.95,
-                ppo_overrides: Optional[dict] = None) -> TrainingResult:
+                ppo_overrides: Optional[dict] = None,
+                ctx=None, name: str = "train") -> TrainingResult:
     """Train one PPO agent with the scale's budget and return its result.
 
     ``env_source`` is anything :class:`~repro.rl.trainer.PPOTrainer` accepts:
     an env factory, a scenario id, or a :class:`~repro.scenarios.ScenarioSpec`.
+    ``ctx`` (a :class:`repro.runs.CellContext`) enables checkpoint/resume and
+    memoization when the training runs inside a campaign cell.
     """
-    trainer = PPOTrainer(env_source, scale.ppo_config(**(ppo_overrides or {})),
-                         hidden_sizes=scale.hidden_sizes, seed=seed)
-    return trainer.train(max_updates=scale.max_updates, target_accuracy=target_accuracy,
-                         eval_every=10, eval_episodes=scale.eval_episodes)
+    scale = resolve_scale(scale)
+    result, _ = _train(env_source, scale, seed, target_accuracy, ppo_overrides,
+                       ctx=ctx, name=name)
+    return result
 
 
 def train_agent_with_trainer(env_source: EnvSource,
-                             scale: ExperimentScale, seed: int = 0,
+                             scale: ScaleLike, seed: int = 0,
                              target_accuracy: float = 0.95,
-                             ppo_overrides: Optional[dict] = None) -> tuple:
-    """Like :func:`train_agent` but also return the trainer (for further evaluation)."""
-    trainer = PPOTrainer(env_source, scale.ppo_config(**(ppo_overrides or {})),
-                         hidden_sizes=scale.hidden_sizes, seed=seed)
-    result = trainer.train(max_updates=scale.max_updates, target_accuracy=target_accuracy,
-                           eval_every=10, eval_episodes=scale.eval_episodes)
-    return result, trainer
+                             ppo_overrides: Optional[dict] = None,
+                             ctx=None, name: str = "train") -> tuple:
+    """Like :func:`train_agent` but also return the trainer (for further
+    evaluation).  Under a resumed campaign cell the second element may be a
+    :class:`TrainedPolicyHandle`; both expose ``.policy``."""
+    scale = resolve_scale(scale)
+    return _train(env_source, scale, seed, target_accuracy, ppo_overrides,
+                  ctx=ctx, name=name)
 
 
 def average_over_runs(values: Sequence[float]) -> float:

@@ -18,29 +18,36 @@ from repro.attacks.stealthy_streamline import StealthyStreamlineChannel
 from repro.attacks.streamline import StreamlineChannel
 from repro.experiments.common import format_table
 
+CHANNEL_BUILDERS = {
+    "lru_address_based": LRUAddressBasedChannel,
+    "streamline": StreamlineChannel,
+    "stealthy_streamline": StealthyStreamlineChannel,
+}
+
+
+def run_cell(params: Dict, scale=None, seed: int = 0, ctx=None) -> Dict:
+    """One Figure 4 row: transmit a message through one covert channel."""
+    builder = CHANNEL_BUILDERS[params["channel"]]
+    channel = builder(num_ways=params.get("num_ways", 8), seed=seed)
+    message = channel.random_message(params.get("message_bits", 512))
+    result = channel.transmit(message)
+    return {
+        "channel": channel.name,
+        "bits_per_symbol": channel.bits_per_symbol,
+        "bits_per_access": result.bits_per_access,
+        "measured_fraction": result.measured_fraction,
+        "error_rate": result.error_rate,
+        "victim_misses": result.sender_misses,
+        "stealthy": result.stealthy,
+        "bypasses_miss_detection": result.stealthy,
+    }
+
 
 def run(scale=None, num_ways: int = 8, message_bits: int = 512, seed: int = 0) -> List[Dict]:
     """Transmit the same message through each channel; compare rate and stealth."""
-    channels = [
-        LRUAddressBasedChannel(num_ways=num_ways, seed=seed),
-        StreamlineChannel(num_ways=num_ways, seed=seed),
-        StealthyStreamlineChannel(num_ways=num_ways, seed=seed),
-    ]
-    rows: List[Dict] = []
-    for channel in channels:
-        message = channel.random_message(message_bits)
-        result = channel.transmit(message)
-        rows.append({
-            "channel": channel.name,
-            "bits_per_symbol": channel.bits_per_symbol,
-            "bits_per_access": result.bits_per_access,
-            "measured_fraction": result.measured_fraction,
-            "error_rate": result.error_rate,
-            "victim_misses": result.sender_misses,
-            "stealthy": result.stealthy,
-            "bypasses_miss_detection": result.stealthy,
-        })
-    return rows
+    return [run_cell({"channel": name, "num_ways": num_ways, "message_bits": message_bits},
+                     scale, seed=seed)
+            for name in CHANNEL_BUILDERS]
 
 
 def cache_state_walkthrough(num_ways: int = 8, seed: int = 0) -> List[Dict]:

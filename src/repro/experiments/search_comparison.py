@@ -13,45 +13,53 @@ from typing import Dict, List, Optional
 from repro.analysis.search_space import brute_force_steps_estimate, prime_probe_search_space
 from repro.cache.config import CacheConfig
 from repro.env.config import EnvConfig
-from repro.experiments.common import ExperimentScale, format_table, get_scale
+from repro.experiments.common import ScaleLike, format_table, resolve_scale
 from repro.rl.baselines import RandomSearchBaseline
 
 # The paper quotes ~1 million RL steps to converge for the 8-way case.
 RL_STEPS_REFERENCE = 1_000_000
 
+ANALYTICAL_WAYS = (2, 4, 6, 8, 12, 16)
 
-def run(scale: ExperimentScale = "bench", ways: Optional[List[int]] = None,
-        empirical_ways: int = 2, seed: int = 0) -> List[Dict]:
-    """Analytical estimates for several associativities plus one empirical search."""
-    scale = get_scale(scale)
-    ways = ways or [2, 4, 6, 8, 12, 16]
-    rows: List[Dict] = []
-    for num_ways in ways:
-        rows.append({
+
+def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    """One Section VI-A row: an analytical estimate or the empirical search."""
+    scale = resolve_scale(scale)
+    num_ways = params.get("num_ways", 2)
+    if params["kind"] == "analytical":
+        return {
             "num_ways": num_ways,
             "brute_force_sequences": prime_probe_search_space(num_ways),
             "brute_force_steps": brute_force_steps_estimate(num_ways),
             "rl_steps_reference": RL_STEPS_REFERENCE,
             "speedup_vs_rl": brute_force_steps_estimate(num_ways) / RL_STEPS_REFERENCE,
             "kind": "analytical",
-        })
-
-    config = EnvConfig(cache=CacheConfig.fully_associative(empirical_ways),
-                       attacker_addr_s=empirical_ways, attacker_addr_e=2 * empirical_ways - 1,
+        }
+    config = EnvConfig(cache=CacheConfig.fully_associative(num_ways),
+                       attacker_addr_s=num_ways, attacker_addr_e=2 * num_ways - 1,
                        victim_addr_s=0, victim_addr_e=0, victim_no_access_enable=True,
-                       window_size=4 * empirical_ways, warmup_accesses=0, seed=seed)
+                       window_size=4 * num_ways, warmup_accesses=0, seed=seed)
     search = RandomSearchBaseline(config, seed=seed)
     max_sequences = 200 if scale.name == "smoke" else 2000
     result = search.search(max_sequences=max_sequences)
-    rows.append({
-        "num_ways": empirical_ways,
+    return {
+        "num_ways": num_ways,
         "brute_force_sequences": result.sequences_tried,
         "brute_force_steps": result.env_steps,
         "rl_steps_reference": RL_STEPS_REFERENCE,
         "speedup_vs_rl": float("nan"),
         "kind": "empirical random search" + ("" if result.found else " (not found)"),
-    })
-    return rows
+    }
+
+
+def run(scale: ScaleLike = "bench", ways: Optional[List[int]] = None,
+        empirical_ways: int = 2, seed: int = 0) -> List[Dict]:
+    """Analytical estimates for several associativities plus one empirical search."""
+    scale = resolve_scale(scale)
+    ways = ways or list(ANALYTICAL_WAYS)
+    cells = ([{"kind": "analytical", "num_ways": n} for n in ways]
+             + [{"kind": "empirical", "num_ways": empirical_ways}])
+    return [run_cell(params, scale, seed=seed) for params in cells]
 
 
 def format_results(rows: List[Dict]) -> str:

@@ -14,36 +14,42 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.common import format_table
-from repro.hardware.machines import TABLE10_MACHINES
+from repro.hardware.machines import TABLE10_MACHINES, get_table10_machine
 from repro.hardware.timing import CovertChannelTimingModel, TimingParameters
 
 ERROR_TARGET = 0.05
 
 
+def run_cell(params: Dict, scale=None, seed: int = 0, ctx=None) -> Dict:
+    """One Table X row: both covert channels on one machine's timing model."""
+    machine = get_table10_machine(params["machine"])
+    message_bits = params.get("message_bits", 2048)
+    model = CovertChannelTimingModel(machine, seed=seed)
+    lru = TimingParameters.lru_address_based(machine.num_ways)
+    stealthy = TimingParameters.stealthy_streamline(machine.num_ways)
+    lru_run = model.simulate_transmission(lru, message_bits=message_bits)
+    stealthy_run = model.simulate_transmission(stealthy, message_bits=message_bits)
+    improvement = (stealthy_run["bit_rate_mbps"] - lru_run["bit_rate_mbps"]) / lru_run["bit_rate_mbps"]
+    return {
+        "cpu": machine.name,
+        "microarchitecture": machine.microarchitecture,
+        "l1d_config": f"{machine.l1d_size_kb}KB({machine.num_ways}way)",
+        "os": machine.operating_system,
+        "lru_bit_rate_mbps": lru_run["bit_rate_mbps"],
+        "ss_bit_rate_mbps": stealthy_run["bit_rate_mbps"],
+        "improvement": improvement,
+        "lru_error_rate": lru_run["error_rate"],
+        "ss_error_rate": stealthy_run["error_rate"],
+        "meets_error_target": (lru_run["error_rate"] < ERROR_TARGET
+                               and stealthy_run["error_rate"] < ERROR_TARGET),
+    }
+
+
 def run(scale=None, message_bits: int = 2048, seed: int = 0) -> List[Dict]:
     """Table X rows: per machine, the two channels' bit rates at <5% error."""
-    rows: List[Dict] = []
-    for machine in TABLE10_MACHINES:
-        model = CovertChannelTimingModel(machine, seed=seed)
-        lru = TimingParameters.lru_address_based(machine.num_ways)
-        stealthy = TimingParameters.stealthy_streamline(machine.num_ways)
-        lru_run = model.simulate_transmission(lru, message_bits=message_bits)
-        stealthy_run = model.simulate_transmission(stealthy, message_bits=message_bits)
-        improvement = (stealthy_run["bit_rate_mbps"] - lru_run["bit_rate_mbps"]) / lru_run["bit_rate_mbps"]
-        rows.append({
-            "cpu": machine.name,
-            "microarchitecture": machine.microarchitecture,
-            "l1d_config": f"{machine.l1d_size_kb}KB({machine.num_ways}way)",
-            "os": machine.operating_system,
-            "lru_bit_rate_mbps": lru_run["bit_rate_mbps"],
-            "ss_bit_rate_mbps": stealthy_run["bit_rate_mbps"],
-            "improvement": improvement,
-            "lru_error_rate": lru_run["error_rate"],
-            "ss_error_rate": stealthy_run["error_rate"],
-            "meets_error_target": (lru_run["error_rate"] < ERROR_TARGET
-                                   and stealthy_run["error_rate"] < ERROR_TARGET),
-        })
-    return rows
+    return [run_cell({"machine": machine.name, "message_bits": message_bits},
+                     scale, seed=seed)
+            for machine in TABLE10_MACHINES]
 
 
 def figure5_curves(message_bits: int = 2048, seed: int = 0, trials: int = 5) -> Dict[str, Dict]:

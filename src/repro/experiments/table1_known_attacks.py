@@ -17,7 +17,7 @@ from repro.attacks.textbook import (
     flush_reload_sequence,
     prime_probe_sequence,
 )
-from repro.experiments.common import format_table
+from repro.experiments.common import ScaleLike, format_table
 from repro.scenarios import get_spec, make
 
 # (row name, registered scenario, textbook sequence generator)
@@ -29,23 +29,30 @@ KNOWN_ATTACK_CASES = (
 )
 
 
+def run_cell(params: Dict, scale: ScaleLike = None, seed: int = 0, ctx=None) -> Dict:
+    """One Table I row: verify one known attack category on its scenario."""
+    by_name = {name: (scenario_id, builder)
+               for name, scenario_id, builder in KNOWN_ATTACK_CASES}
+    name = params["attack_category"]
+    scenario_id, sequence_builder = by_name[name]
+    env = make(scenario_id)
+    sequence = sequence_builder(get_spec(scenario_id).build_config())
+    indices = sequence.to_indices(env.actions)
+    accuracy, _steps = evaluate_action_sequence(env, indices, trials=2)
+    return {
+        "attack_category": name,
+        "attacker_actions": "flush addrs" if sequence.uses_flush else "access addrs",
+        "victim_actions": "access an addr",
+        "observation": "attacker latency",
+        "sequence": sequence.render(),
+        "accuracy": accuracy,
+    }
+
+
 def run(scale=None) -> List[Dict]:
     """Evaluate every known attack category on its matching scenario."""
-    rows: List[Dict] = []
-    for name, scenario_id, sequence_builder in KNOWN_ATTACK_CASES:
-        env = make(scenario_id)
-        sequence = sequence_builder(get_spec(scenario_id).build_config())
-        indices = sequence.to_indices(env.actions)
-        accuracy, _steps = evaluate_action_sequence(env, indices, trials=2)
-        rows.append({
-            "attack_category": name,
-            "attacker_actions": "flush addrs" if sequence.uses_flush else "access addrs",
-            "victim_actions": "access an addr",
-            "observation": "attacker latency",
-            "sequence": sequence.render(),
-            "accuracy": accuracy,
-        })
-    return rows
+    return [run_cell({"attack_category": name}, scale)
+            for name, _scenario, _builder in KNOWN_ATTACK_CASES]
 
 
 def format_results(rows: List[Dict]) -> str:

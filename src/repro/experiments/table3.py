@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.classifier import classify_sequence
 from repro.attacks.sequences import AttackSequence
-from repro.experiments.common import ExperimentScale, format_table, get_scale, train_agent
+from repro.experiments.common import ScaleLike, format_table, resolve_scale, train_agent
 from repro.hardware.machines import TABLE3_MACHINES, MachineSpec, get_machine
 from repro.scenarios import machine_scenario_id, make, make_factory
 
@@ -33,43 +33,53 @@ def make_env_factory(machine: MachineSpec, attacker_addresses: Optional[int] = N
     return make_factory(machine_scenario_id(machine.key), **overrides)
 
 
-def run(scale: ExperimentScale = "bench", machines: Optional[Sequence[str]] = None,
+def cells(scale: ScaleLike) -> List[Dict]:
+    """One campaign cell per machine; paper scale covers all Table III machines."""
+    scale = resolve_scale(scale)
+    if scale.name == "paper":
+        machines = [spec.key for spec in TABLE3_MACHINES]
+    else:
+        machines = list(DEFAULT_BENCH_MACHINES)
+    return [{"machine": key} for key in machines]
+
+
+def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    """One Table III row: train an agent against one blackbox machine."""
+    scale = resolve_scale(scale)
+    spec = get_machine(params["machine"])
+    attacker_addresses = spec.num_ways + 1 if scale.name != "paper" else 2 * spec.num_ways
+    result = train_agent(make_env_factory(spec, attacker_addresses=attacker_addresses),
+                         scale, seed=seed, target_accuracy=0.9, ctx=ctx)
+    sequence_labels: List[str] = []
+    category = ""
+    if result.extraction is not None:
+        sequence_labels = result.extraction.representative
+        env = make(machine_scenario_id(spec.key), seed=seed,
+                   attacker_addresses=attacker_addresses)
+        category = classify_sequence(AttackSequence.from_labels(sequence_labels),
+                                     env.config).value
+    return {
+        "cpu": spec.name,
+        "cache_level": spec.cache_level,
+        "ways": spec.num_ways,
+        "documented_policy": spec.documented_policy or "N.O.D.",
+        "victim_addr": "0/E",
+        "attack_addr": f"0-{attacker_addresses - 1}",
+        "accuracy": result.final_accuracy,
+        "converged": result.converged,
+        "sequence": " -> ".join(sequence_labels),
+        "attack_category": category,
+        "env_steps": result.env_steps,
+    }
+
+
+def run(scale: ScaleLike = "bench", machines: Optional[Sequence[str]] = None,
         seed: int = 0) -> List[Dict]:
     """Train an agent per machine and report accuracy, sequence, and category."""
-    scale = get_scale(scale)
-    if machines is None:
-        if scale.name == "paper":
-            machines = [spec.key for spec in TABLE3_MACHINES]
-        else:
-            machines = DEFAULT_BENCH_MACHINES
-    rows: List[Dict] = []
-    for key in machines:
-        spec = get_machine(key)
-        attacker_addresses = spec.num_ways + 1 if scale.name != "paper" else 2 * spec.num_ways
-        result = train_agent(make_env_factory(spec, attacker_addresses=attacker_addresses),
-                             scale, seed=seed, target_accuracy=0.9)
-        sequence_labels: List[str] = []
-        category = ""
-        if result.extraction is not None:
-            sequence_labels = result.extraction.representative
-            env = make(machine_scenario_id(spec.key), seed=seed,
-                       attacker_addresses=attacker_addresses)
-            category = classify_sequence(AttackSequence.from_labels(sequence_labels),
-                                         env.config).value
-        rows.append({
-            "cpu": spec.name,
-            "cache_level": spec.cache_level,
-            "ways": spec.num_ways,
-            "documented_policy": spec.documented_policy or "N.O.D.",
-            "victim_addr": "0/E",
-            "attack_addr": f"0-{attacker_addresses - 1}",
-            "accuracy": result.final_accuracy,
-            "converged": result.converged,
-            "sequence": " -> ".join(sequence_labels),
-            "attack_category": category,
-            "env_steps": result.env_steps,
-        })
-    return rows
+    scale = resolve_scale(scale)
+    cell_params = (cells(scale) if machines is None
+                   else [{"machine": key} for key in machines])
+    return [run_cell(params, scale, seed=seed) for params in cell_params]
 
 
 def format_results(rows: List[Dict]) -> str:

@@ -23,7 +23,7 @@ from repro.attacks.evaluate import evaluate_action_sequence
 from repro.attacks.sequences import AttackSequence
 from repro.attacks.textbook import textbook_attack_for_config
 from repro.env.config import EnvConfig
-from repro.experiments.common import ExperimentScale, format_table, get_scale, train_agent
+from repro.experiments.common import ScaleLike, format_table, resolve_scale, train_agent
 from repro.scenarios import get_spec, make, make_factory
 
 
@@ -65,48 +65,60 @@ def table4_configs() -> List[TableIVConfig]:
 DEFAULT_RL_SUBSET = (1, 3, 5, 6)
 
 
-def run(scale: ExperimentScale = "bench", rl_configs: Optional[Sequence[int]] = None,
+def default_rl_configs(scale: ScaleLike) -> tuple:
+    """Configuration numbers that get RL training at the given scale."""
+    scale = resolve_scale(scale)
+    if scale.name == "paper":
+        return tuple(config.number for config in table4_configs())
+    if scale.name == "smoke":
+        return ()
+    return DEFAULT_RL_SUBSET
+
+
+def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    """One Table IV row: textbook feasibility (always) plus optional RL training."""
+    scale = resolve_scale(scale)
+    number = params["config"]
+    rl_trained = params.get("rl")
+    if rl_trained is None:
+        rl_trained = number in default_rl_configs(scale)
+    entry = next(e for e in table4_configs() if e.number == number)
+    env_config = entry.build()
+    env = make(entry.scenario)
+    textbook = textbook_attack_for_config(env_config)
+    textbook_accuracy, _ = evaluate_action_sequence(env, textbook.to_indices(env.actions),
+                                                    trials=2)
+    row = {
+        "config": entry.number,
+        "description": entry.description,
+        "expected_attacks": entry.expected_attacks,
+        "textbook_category": textbook.category.value,
+        "textbook_accuracy": textbook_accuracy,
+        "rl_trained": bool(rl_trained),
+        "rl_accuracy": None,
+        "rl_sequence": "",
+        "rl_category": "",
+    }
+    if rl_trained:
+        factory = _make_factory(entry)
+        result = train_agent(factory, scale, seed=seed + entry.number, ctx=ctx)
+        row["rl_accuracy"] = result.final_accuracy
+        if result.extraction is not None:
+            representative = result.extraction.representative
+            row["rl_sequence"] = " -> ".join(representative)
+            sequence = AttackSequence.from_labels(representative)
+            row["rl_category"] = classify_sequence(sequence, env_config).value
+    return row
+
+
+def run(scale: ScaleLike = "bench", rl_configs: Optional[Sequence[int]] = None,
         seed: int = 0) -> List[Dict]:
     """Verify textbook feasibility for all configs; run RL on the selected subset."""
-    scale = get_scale(scale)
-    if rl_configs is None:
-        if scale.name == "paper":
-            rl_configs = tuple(config.number for config in table4_configs())
-        elif scale.name == "smoke":
-            rl_configs = ()
-        else:
-            rl_configs = DEFAULT_RL_SUBSET
-    rl_set = set(rl_configs)
-
-    rows: List[Dict] = []
-    for entry in table4_configs():
-        env_config = entry.build()
-        env = make(entry.scenario)
-        textbook = textbook_attack_for_config(env_config)
-        textbook_accuracy, _ = evaluate_action_sequence(env, textbook.to_indices(env.actions),
-                                                        trials=2)
-        row = {
-            "config": entry.number,
-            "description": entry.description,
-            "expected_attacks": entry.expected_attacks,
-            "textbook_category": textbook.category.value,
-            "textbook_accuracy": textbook_accuracy,
-            "rl_trained": entry.number in rl_set,
-            "rl_accuracy": None,
-            "rl_sequence": "",
-            "rl_category": "",
-        }
-        if entry.number in rl_set:
-            factory = _make_factory(entry)
-            result = train_agent(factory, scale, seed=seed + entry.number)
-            row["rl_accuracy"] = result.final_accuracy
-            if result.extraction is not None:
-                representative = result.extraction.representative
-                row["rl_sequence"] = " -> ".join(representative)
-                sequence = AttackSequence.from_labels(representative)
-                row["rl_category"] = classify_sequence(sequence, env_config).value
-        rows.append(row)
-    return rows
+    scale = resolve_scale(scale)
+    rl_set = set(default_rl_configs(scale) if rl_configs is None else rl_configs)
+    return [run_cell({"config": entry.number, "rl": entry.number in rl_set},
+                     scale, seed=seed)
+            for entry in table4_configs()]
 
 
 def _make_factory(entry: TableIVConfig):

@@ -10,18 +10,23 @@ LRU/PLRU.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Sequence
 
 from repro.experiments.common import (
-    ExperimentScale,
+    ScaleLike,
     average_over_runs,
     format_table,
-    get_scale,
+    resolve_scale,
     train_agent,
 )
 from repro.scenarios import make_factory
 
 POLICIES = ("lru", "plru", "rrip")
+
+
+def _offset_factory(factory, seed_offset: int, seed: int):
+    return factory(seed + seed_offset)
 
 
 def make_env_factory(policy: str, num_ways: int = 4, seed_offset: int = 0):
@@ -35,41 +40,48 @@ def make_env_factory(policy: str, num_ways: int = 4, seed_offset: int = 0):
         overrides.update({"cache.num_ways": num_ways, "attacker_addr_e": num_ways})
     factory = make_factory(f"guessing/{policy}-4way", **overrides)
     if seed_offset:
-        return lambda seed: factory(seed + seed_offset)
+        return functools.partial(_offset_factory, factory, seed_offset)
     return factory
 
 
-def run(scale: ExperimentScale = "bench", policies: Sequence[str] = POLICIES,
-        num_ways: int = 4, seed: int = 0) -> List[Dict]:
-    """Train one agent per policy (times ``scale.runs``) and aggregate statistics."""
-    scale = get_scale(scale)
+def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    """One Table V row: train ``scale.runs`` agents against one policy."""
+    scale = resolve_scale(scale)
+    policy = params["policy"]
+    num_ways = params.get("num_ways", 4)
     if scale.name == "smoke":
         num_ways = 2
-    rows: List[Dict] = []
-    for policy in policies:
-        epochs: List[float] = []
-        lengths: List[float] = []
-        accuracies: List[float] = []
-        example_sequence = ""
-        for run_index in range(scale.runs):
-            result = train_agent(make_env_factory(policy, num_ways=num_ways),
-                                 scale, seed=seed + 17 * run_index)
-            epochs.append(result.epochs_to_converge if result.converged
-                          else result.epochs_trained)
-            lengths.append(result.final_episode_length)
-            accuracies.append(result.final_accuracy)
-            if result.extraction is not None and not example_sequence:
-                example_sequence = result.extraction.render()
-        rows.append({
-            "replacement_policy": policy,
-            "epochs_to_converge": average_over_runs(epochs),
-            "episode_length": average_over_runs(lengths),
-            "accuracy": average_over_runs(accuracies),
-            "converged_runs": sum(1 for a in accuracies if a >= 0.95),
-            "runs": scale.runs,
-            "example_sequence": example_sequence,
-        })
-    return rows
+    epochs: List[float] = []
+    lengths: List[float] = []
+    accuracies: List[float] = []
+    example_sequence = ""
+    for run_index in range(scale.runs):
+        result = train_agent(make_env_factory(policy, num_ways=num_ways),
+                             scale, seed=seed + 17 * run_index,
+                             ctx=ctx, name=f"run{run_index}")
+        epochs.append(result.epochs_to_converge if result.converged
+                      else result.epochs_trained)
+        lengths.append(result.final_episode_length)
+        accuracies.append(result.final_accuracy)
+        if result.extraction is not None and not example_sequence:
+            example_sequence = result.extraction.render()
+    return {
+        "replacement_policy": policy,
+        "epochs_to_converge": average_over_runs(epochs),
+        "episode_length": average_over_runs(lengths),
+        "accuracy": average_over_runs(accuracies),
+        "converged_runs": sum(1 for a in accuracies if a >= 0.95),
+        "runs": scale.runs,
+        "example_sequence": example_sequence,
+    }
+
+
+def run(scale: ScaleLike = "bench", policies: Sequence[str] = POLICIES,
+        num_ways: int = 4, seed: int = 0) -> List[Dict]:
+    """Train one agent per policy (times ``scale.runs``) and aggregate statistics."""
+    scale = resolve_scale(scale)
+    return [run_cell({"policy": policy, "num_ways": num_ways}, scale, seed=seed)
+            for policy in policies]
 
 
 def format_results(rows: List[Dict]) -> str:

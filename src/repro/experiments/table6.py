@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.experiments.common import ExperimentScale, format_table, get_scale, train_agent
+from repro.experiments.common import ScaleLike, format_table, resolve_scale, train_agent
 from repro.scenarios import make_factory
 
 STEP_REWARDS = (-0.02, -0.01, -0.005)
@@ -29,24 +29,30 @@ def make_env_factory(step_reward: float, num_ways: int = 4, max_steps: int = 24)
     return make_factory("guessing/random-4way", **overrides)
 
 
-def run(scale: ExperimentScale = "bench", step_rewards: Sequence[float] = STEP_REWARDS,
-        num_ways: int = 4, seed: int = 0) -> List[Dict]:
-    """Train one agent per step-reward value; report accuracy and episode length."""
-    scale = get_scale(scale)
+def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    """One Table VI row: train one agent at one step-reward setting."""
+    scale = resolve_scale(scale)
+    step_reward = params["step_reward"]
+    num_ways = params.get("num_ways", 4)
     if scale.name == "smoke":
         num_ways = 2
-    rows: List[Dict] = []
-    for step_reward in step_rewards:
-        result = train_agent(make_env_factory(step_reward, num_ways=num_ways),
-                             scale, seed=seed, target_accuracy=0.93)
-        rows.append({
-            "step_reward": step_reward,
-            "end_accuracy": result.final_accuracy,
-            "episode_length": result.final_episode_length,
-            "converged": result.converged,
-            "env_steps": result.env_steps,
-        })
-    return rows
+    result = train_agent(make_env_factory(step_reward, num_ways=num_ways),
+                         scale, seed=seed, target_accuracy=0.93, ctx=ctx)
+    return {
+        "step_reward": step_reward,
+        "end_accuracy": result.final_accuracy,
+        "episode_length": result.final_episode_length,
+        "converged": result.converged,
+        "env_steps": result.env_steps,
+    }
+
+
+def run(scale: ScaleLike = "bench", step_rewards: Sequence[float] = STEP_REWARDS,
+        num_ways: int = 4, seed: int = 0) -> List[Dict]:
+    """Train one agent per step-reward value; report accuracy and episode length."""
+    scale = resolve_scale(scale)
+    return [run_cell({"step_reward": step_reward, "num_ways": num_ways}, scale, seed=seed)
+            for step_reward in step_rewards]
 
 
 def format_results(rows: List[Dict]) -> str:

@@ -12,10 +12,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.common import (
-    ExperimentScale,
+    ScaleLike,
     average_over_runs,
     format_table,
-    get_scale,
+    resolve_scale,
     train_agent,
 )
 from repro.scenarios import make_factory
@@ -38,34 +38,42 @@ def make_env_factory(pl_cache: bool, num_ways: int = 4, rep_policy: str = "plru"
     return make_factory(scenario, **overrides)
 
 
-def run(scale: ExperimentScale = "bench", num_ways: int = 4, seed: int = 0) -> List[Dict]:
-    """Train agents against the PL cache and the unprotected baseline."""
-    scale = get_scale(scale)
+def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    """One Table VII row: PL-locked or baseline cache, ``scale.runs`` agents."""
+    scale = resolve_scale(scale)
+    pl_cache = params["pl_cache"]
+    num_ways = params.get("num_ways", 4)
     if scale.name == "smoke":
         num_ways = 2
-    rows: List[Dict] = []
-    for label, pl_cache in (("PL Cache", True), ("Baseline", False)):
-        epochs: List[float] = []
-        lengths: List[float] = []
-        accuracies: List[float] = []
-        example = ""
-        for run_index in range(scale.runs):
-            result = train_agent(make_env_factory(pl_cache, num_ways=num_ways),
-                                 scale, seed=seed + 31 * run_index)
-            epochs.append(result.epochs_to_converge if result.converged
-                          else result.epochs_trained)
-            lengths.append(result.final_episode_length)
-            accuracies.append(result.final_accuracy)
-            if result.extraction is not None and not example:
-                example = result.extraction.render()
-        rows.append({
-            "cache": label,
-            "epochs_to_converge": average_over_runs(epochs),
-            "final_episode_length": average_over_runs(lengths),
-            "accuracy": average_over_runs(accuracies),
-            "example_sequence": example,
-        })
-    return rows
+    epochs: List[float] = []
+    lengths: List[float] = []
+    accuracies: List[float] = []
+    example = ""
+    for run_index in range(scale.runs):
+        result = train_agent(make_env_factory(pl_cache, num_ways=num_ways),
+                             scale, seed=seed + 31 * run_index,
+                             ctx=ctx, name=f"run{run_index}")
+        epochs.append(result.epochs_to_converge if result.converged
+                      else result.epochs_trained)
+        lengths.append(result.final_episode_length)
+        accuracies.append(result.final_accuracy)
+        if result.extraction is not None and not example:
+            example = result.extraction.render()
+    return {
+        "cache": params["cache"],
+        "epochs_to_converge": average_over_runs(epochs),
+        "final_episode_length": average_over_runs(lengths),
+        "accuracy": average_over_runs(accuracies),
+        "example_sequence": example,
+    }
+
+
+def run(scale: ScaleLike = "bench", num_ways: int = 4, seed: int = 0) -> List[Dict]:
+    """Train agents against the PL cache and the unprotected baseline."""
+    scale = resolve_scale(scale)
+    return [run_cell({"cache": label, "pl_cache": pl_cache, "num_ways": num_ways},
+                     scale, seed=seed)
+            for label, pl_cache in (("PL Cache", True), ("Baseline", False))]
 
 
 def format_results(rows: List[Dict]) -> str:

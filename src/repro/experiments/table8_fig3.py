@@ -25,9 +25,9 @@ from repro.attacks.scripted import TextbookPrimeProbeAttacker, run_scripted_atta
 from repro.detection.autocorrelation import AutocorrelationDetector
 from repro.env.config import EnvConfig
 from repro.experiments.common import (
-    ExperimentScale,
+    ScaleLike,
     format_table,
-    get_scale,
+    resolve_scale,
     train_agent_with_trainer,
 )
 from repro.rl.policy import ActorCriticPolicy
@@ -103,55 +103,62 @@ def evaluate_covert_policy(env_factory, policy: ActorCriticPolicy, episodes: int
     }
 
 
-def run(scale: ExperimentScale = "bench", seed: int = 0,
+def covert_sizes(scale: ScaleLike) -> tuple:
+    """(num_sets, episode_length) used by the covert-channel studies at a scale."""
+    scale = resolve_scale(scale)
+    if scale.name == "paper":
+        return 4, 160
+    if scale.name == "smoke":
+        return 2, 24
+    return 2, 64
+
+
+def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    """One Table VIII row: textbook, RL baseline, or RL autocor."""
+    scale = resolve_scale(scale)
+    attack = params["attack"]
+    eval_episodes = params.get("eval_episodes", 5)
+    num_sets, episode_length = covert_sizes(scale)
+    detector = AutocorrelationDetector()
+
+    if attack == "textbook":
+        textbook_env = make_covert_env_factory(num_sets, episode_length)(seed)
+        stats = run_scripted_attacker(textbook_env, TextbookPrimeProbeAttacker(textbook_env),
+                                      episodes=eval_episodes,
+                                      autocorrelation_detector=detector)
+        trains = []
+    elif attack == "RL baseline":
+        baseline_factory = make_covert_env_factory(num_sets, episode_length)
+        _result, trained = train_agent_with_trainer(baseline_factory, scale, seed=seed,
+                                                    target_accuracy=0.97, ctx=ctx)
+        stats = evaluate_covert_policy(baseline_factory, trained.policy,
+                                       episodes=eval_episodes, detector=detector,
+                                       seed=seed)
+        trains = stats["trains"]
+    elif attack == "RL autocor":
+        autocor_factory = make_covert_env_factory(num_sets, episode_length,
+                                                  autocorrelation_penalty=-2.0)
+        _result, trained = train_agent_with_trainer(autocor_factory, scale, seed=seed + 1,
+                                                    target_accuracy=0.97, ctx=ctx)
+        plain_factory = make_covert_env_factory(num_sets, episode_length)
+        stats = evaluate_covert_policy(plain_factory, trained.policy,
+                                       episodes=eval_episodes, detector=detector,
+                                       seed=seed + 1)
+        trains = stats["trains"]
+    else:
+        raise KeyError(f"unknown Table VIII attack {attack!r}")
+    return {"attack": attack, "bit_rate": stats["bit_rate"],
+            "guess_accuracy": stats["guess_accuracy"],
+            "max_autocorrelation": stats["max_autocorrelation"],
+            "trains": trains}
+
+
+def run(scale: ScaleLike = "bench", seed: int = 0,
         eval_episodes: int = 5) -> List[Dict]:
     """Produce the three Table VIII rows (textbook, RL baseline, RL autocor)."""
-    scale = get_scale(scale)
-    if scale.name == "paper":
-        num_sets, episode_length = 4, 160
-    elif scale.name == "smoke":
-        num_sets, episode_length = 2, 24
-    else:
-        num_sets, episode_length = 2, 64
-    detector = AutocorrelationDetector()
-    rows: List[Dict] = []
-
-    # Textbook scripted attacker.
-    textbook_env = make_covert_env_factory(num_sets, episode_length)(seed)
-    textbook_stats = run_scripted_attacker(textbook_env, TextbookPrimeProbeAttacker(textbook_env),
-                                           episodes=eval_episodes,
-                                           autocorrelation_detector=detector)
-    rows.append({"attack": "textbook", "bit_rate": textbook_stats["bit_rate"],
-                 "guess_accuracy": textbook_stats["guess_accuracy"],
-                 "max_autocorrelation": textbook_stats["max_autocorrelation"],
-                 "trains": []})
-
-    # RL baseline (no detection penalty).
-    baseline_factory = make_covert_env_factory(num_sets, episode_length)
-    _result, baseline_trainer = train_agent_with_trainer(baseline_factory, scale, seed=seed,
-                                                         target_accuracy=0.97)
-    baseline_stats = evaluate_covert_policy(baseline_factory, baseline_trainer.policy,
-                                            episodes=eval_episodes, detector=detector,
-                                            seed=seed)
-    rows.append({"attack": "RL baseline", "bit_rate": baseline_stats["bit_rate"],
-                 "guess_accuracy": baseline_stats["guess_accuracy"],
-                 "max_autocorrelation": baseline_stats["max_autocorrelation"],
-                 "trains": baseline_stats["trains"]})
-
-    # RL trained with the autocorrelation L2 penalty.
-    autocor_factory = make_covert_env_factory(num_sets, episode_length,
-                                              autocorrelation_penalty=-2.0)
-    _result, autocor_trainer = train_agent_with_trainer(autocor_factory, scale, seed=seed + 1,
-                                                        target_accuracy=0.97)
-    plain_factory = make_covert_env_factory(num_sets, episode_length)
-    autocor_stats = evaluate_covert_policy(plain_factory, autocor_trainer.policy,
-                                           episodes=eval_episodes, detector=detector,
-                                           seed=seed + 1)
-    rows.append({"attack": "RL autocor", "bit_rate": autocor_stats["bit_rate"],
-                 "guess_accuracy": autocor_stats["guess_accuracy"],
-                 "max_autocorrelation": autocor_stats["max_autocorrelation"],
-                 "trains": autocor_stats["trains"]})
-    return rows
+    scale = resolve_scale(scale)
+    return [run_cell({"attack": attack, "eval_episodes": eval_episodes}, scale, seed=seed)
+            for attack in ("textbook", "RL baseline", "RL autocor")]
 
 
 def figure3_data(rows: List[Dict], max_lag: int = 30) -> Dict[str, Dict]:

@@ -9,6 +9,7 @@ which learns sequences that evade the detector at some bit-rate cost.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List
 
 import numpy as np
@@ -16,14 +17,15 @@ import numpy as np
 from repro.attacks.scripted import TextbookPrimeProbeAttacker, run_scripted_attacker
 from repro.detection.cyclone import CycloneDetector
 from repro.experiments.common import (
-    ExperimentScale,
+    ScaleLike,
     format_table,
-    get_scale,
+    resolve_scale,
     train_agent_with_trainer,
 )
 from repro.experiments.table8_fig3 import (
     covert_env_config,
     covert_scenario_overrides,
+    covert_sizes,
     evaluate_covert_policy,
     make_covert_env_factory,
 )
@@ -36,9 +38,16 @@ def _detection_rate(detector: CycloneDetector, traces: List) -> float:
     return float(np.mean([detector.detection_rate(trace) for trace in traces]))
 
 
+@functools.lru_cache(maxsize=8)
 def train_detector(num_sets: int, episode_length: int, seed: int = 0,
                    benign_traces: int = 30) -> tuple:
-    """Train the Cyclone SVM on benign workloads plus textbook attack traces."""
+    """Train the Cyclone SVM on benign workloads plus textbook attack traces.
+
+    Deterministically seeded, so the result is cached per argument tuple:
+    the serial ``run()`` shim trains the detector once for its three rows,
+    while campaign workers (separate processes) each train their own
+    identical copy.  Callers must treat the returned objects as read-only.
+    """
     env = make_covert_env_factory(num_sets, episode_length)(seed)
     textbook_stats = run_scripted_attacker(env, TextbookPrimeProbeAttacker(env), episodes=4)
     detector = CycloneDetector.trained_on_synthetic_benign(
@@ -49,56 +58,51 @@ def train_detector(num_sets: int, episode_length: int, seed: int = 0,
     return detector, textbook_stats
 
 
-def run(scale: ExperimentScale = "bench", seed: int = 0, eval_episodes: int = 5) -> List[Dict]:
-    """Produce the three Table IX rows (textbook, RL baseline, RL SVM)."""
-    scale = get_scale(scale)
-    if scale.name == "paper":
-        num_sets, episode_length = 4, 160
-    elif scale.name == "smoke":
-        num_sets, episode_length = 2, 24
-    else:
-        num_sets, episode_length = 2, 64
+def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    """One Table IX row: textbook, RL baseline, or RL SVM.
 
+    Every cell retrains the (deterministically seeded) Cyclone SVM, so cells
+    stay independent and can run on separate workers while scoring against an
+    identical detector.
+    """
+    scale = resolve_scale(scale)
+    attack = params["attack"]
+    eval_episodes = params.get("eval_episodes", 5)
+    num_sets, episode_length = covert_sizes(scale)
     detector, textbook_stats = train_detector(num_sets, episode_length, seed=seed)
-    rows: List[Dict] = [{
-        "attack": "textbook",
-        "bit_rate": textbook_stats["bit_rate"],
-        "guess_accuracy": textbook_stats["guess_accuracy"],
-        "detection_rate": _detection_rate(detector, textbook_stats["traces"]),
-        "svm_validation_accuracy": detector.validation_accuracy,
-    }]
 
-    # RL baseline: trained without any detection penalty.
-    baseline_factory = make_covert_env_factory(num_sets, episode_length)
-    _result, baseline_trainer = train_agent_with_trainer(baseline_factory, scale, seed=seed,
-                                                         target_accuracy=0.97)
-    baseline_stats = evaluate_covert_policy(baseline_factory, baseline_trainer.policy,
-                                            episodes=eval_episodes, seed=seed)
-    rows.append({
-        "attack": "RL baseline",
-        "bit_rate": baseline_stats["bit_rate"],
-        "guess_accuracy": baseline_stats["guess_accuracy"],
-        "detection_rate": _detection_rate(detector, baseline_stats["traces"]),
-        "svm_validation_accuracy": detector.validation_accuracy,
-    })
-
-    # RL SVM: trained with the detector in the loop as a reward penalty.
-    svm_factory = make_factory("covert/prime-probe-svm", detector=detector,
-                               **covert_scenario_overrides(num_sets, episode_length))
-
-    _result, svm_trainer = train_agent_with_trainer(svm_factory, scale, seed=seed + 1,
-                                                    target_accuracy=0.97)
-    plain_factory = make_covert_env_factory(num_sets, episode_length)
-    svm_stats = evaluate_covert_policy(plain_factory, svm_trainer.policy,
+    if attack == "textbook":
+        stats = textbook_stats
+    elif attack == "RL baseline":
+        baseline_factory = make_covert_env_factory(num_sets, episode_length)
+        _result, trained = train_agent_with_trainer(baseline_factory, scale, seed=seed,
+                                                    target_accuracy=0.97, ctx=ctx)
+        stats = evaluate_covert_policy(baseline_factory, trained.policy,
+                                       episodes=eval_episodes, seed=seed)
+    elif attack == "RL SVM":
+        svm_factory = make_factory("covert/prime-probe-svm", detector=detector,
+                                   **covert_scenario_overrides(num_sets, episode_length))
+        _result, trained = train_agent_with_trainer(svm_factory, scale, seed=seed + 1,
+                                                    target_accuracy=0.97, ctx=ctx)
+        plain_factory = make_covert_env_factory(num_sets, episode_length)
+        stats = evaluate_covert_policy(plain_factory, trained.policy,
                                        episodes=eval_episodes, seed=seed + 1)
-    rows.append({
-        "attack": "RL SVM",
-        "bit_rate": svm_stats["bit_rate"],
-        "guess_accuracy": svm_stats["guess_accuracy"],
-        "detection_rate": _detection_rate(detector, svm_stats["traces"]),
+    else:
+        raise KeyError(f"unknown Table IX attack {attack!r}")
+    return {
+        "attack": attack,
+        "bit_rate": stats["bit_rate"],
+        "guess_accuracy": stats["guess_accuracy"],
+        "detection_rate": _detection_rate(detector, stats["traces"]),
         "svm_validation_accuracy": detector.validation_accuracy,
-    })
-    return rows
+    }
+
+
+def run(scale: ScaleLike = "bench", seed: int = 0, eval_episodes: int = 5) -> List[Dict]:
+    """Produce the three Table IX rows (textbook, RL baseline, RL SVM)."""
+    scale = resolve_scale(scale)
+    return [run_cell({"attack": attack, "eval_episodes": eval_episodes}, scale, seed=seed)
+            for attack in ("textbook", "RL baseline", "RL SVM")]
 
 
 def format_results(rows: List[Dict]) -> str:

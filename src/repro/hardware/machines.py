@@ -123,3 +123,12 @@ def get_machine(key: str) -> MachineSpec:
     if key not in MACHINES:
         raise KeyError(f"unknown machine {key!r}; known: {list_machines()}")
     return MACHINES[key]
+
+
+def get_table10_machine(name: str) -> MachineSpec:
+    """Look up a Table X machine by its bare CPU name (all are L1D models)."""
+    for spec in TABLE10_MACHINES:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown Table X machine {name!r}; "
+                   f"known: {[spec.name for spec in TABLE10_MACHINES]}")

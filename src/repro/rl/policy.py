@@ -38,6 +38,7 @@ class ActorCriticPolicy(Module):
         self.observation_size = observation_size
         self.num_actions = num_actions
         self.backbone_kind = backbone
+        self.hidden_sizes = tuple(hidden_sizes)
         self.window_shape = window_shape
         rng = rng or np.random.default_rng(0)
         if backbone == "mlp":

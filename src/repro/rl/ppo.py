@@ -44,6 +44,16 @@ class PPOUpdater:
         self.optimizer = Adam(policy.parameters(), lr=config.learning_rate)
         self.entropy_coefficient = config.entropy_coefficient
 
+    # ------------------------------------------------------------- state I/O
+    def state_dict(self) -> Dict:
+        """Optimizer moments/step plus the annealed entropy coefficient."""
+        return {"optimizer": self.optimizer.state_dict(),
+                "entropy_coefficient": self.entropy_coefficient}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.entropy_coefficient = float(state["entropy_coefficient"])
+
     def set_progress(self, progress: float) -> None:
         """Anneal the entropy bonus linearly with training progress in [0, 1]."""
         final = self.config.entropy_coefficient_final

@@ -10,7 +10,7 @@ accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -35,6 +35,23 @@ class AttackExtraction:
     def render(self, secret: Optional[int] = None) -> str:
         sequence = self.sequences.get(secret, self.representative)
         return " -> ".join(sequence)
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; secrets (int or None) are kept as [secret, value] pairs."""
+        return {
+            "sequences": [[secret, list(labels)] for secret, labels in self.sequences.items()],
+            "correct": [[secret, bool(value)] for secret, value in self.correct.items()],
+            "accuracy": float(self.accuracy),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AttackExtraction":
+        return cls(
+            sequences={secret: list(labels) for secret, labels in data.get("sequences", [])},
+            correct={secret: bool(value) for secret, value in data.get("correct", [])},
+            accuracy=float(data.get("accuracy", 0.0)),
+        )
 
 
 def _run_episode(env, policy: ActorCriticPolicy, secret, max_steps: int,

@@ -1,10 +1,23 @@
-"""Synchronous PPO trainer for the cache guessing game."""
+"""Synchronous PPO trainer for the cache guessing game.
+
+The trainer is *resumable*: all mutable training state (policy and optimizer
+state, the shared RNG stream, the live vectorized envs, episode statistics,
+and convergence bookkeeping) can be captured with :meth:`PPOTrainer.save_checkpoint`
+and restored in a fresh process with :meth:`PPOTrainer.load_checkpoint`.  A
+run resumed from a checkpoint is bit-identical to the same run left
+uninterrupted — the campaign runner in :mod:`repro.runs` relies on this to
+resume in-flight training after a crash or kill.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -12,11 +25,17 @@ from repro.rl.buffer import RolloutBuffer
 from repro.rl.policy import ActorCriticPolicy
 from repro.rl.ppo import PPOConfig, PPOUpdater
 from repro.rl.replay import AttackExtraction, evaluate_policy, extract_attack_sequence
-from repro.rl.stats import RunningStats, TrainingHistory
+from repro.rl.stats import RunningStats, TrainingHistory, dump_json
 from repro.rl.vec_env import VecEnv
 
 # The paper reports training time in epochs of 3000 training steps (Table V).
 STEPS_PER_EPOCH = 3000
+
+CHECKPOINT_FORMAT = "repro-ppo-checkpoint"
+CHECKPOINT_VERSION = 1
+
+# callback(trainer, update, metrics) invoked after every completed PPO update.
+UpdateCallback = Callable[["PPOTrainer", int, Dict[str, float]], None]
 
 
 @dataclass
@@ -39,6 +58,59 @@ class TrainingResult:
     def epochs_trained(self) -> float:
         return self.env_steps / STEPS_PER_EPOCH
 
+    # ---------------------------------------------------------- serialization
+    def to_dict(self, include_history: bool = True) -> Dict[str, Any]:
+        """JSON-safe dict that round-trips losslessly via :meth:`from_dict`.
+
+        Run artifacts (``runs/<id>/``) and ``BENCH_*.json`` files both store
+        results through this one path.
+        """
+        data: Dict[str, Any] = {
+            "converged": bool(self.converged),
+            "env_steps": int(self.env_steps),
+            "updates": int(self.updates),
+            "epochs_to_converge": (None if self.epochs_to_converge is None
+                                   else float(self.epochs_to_converge)),
+            "final_accuracy": float(self.final_accuracy),
+            "final_guess_rate": float(self.final_guess_rate),
+            "final_episode_length": float(self.final_episode_length),
+            "final_episode_reward": float(self.final_episode_reward),
+            "wall_time_seconds": float(self.wall_time_seconds),
+            "extraction": None if self.extraction is None else self.extraction.to_dict(),
+        }
+        if include_history:
+            data["history"] = self.history.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrainingResult":
+        extraction = data.get("extraction")
+        history = data.get("history")
+        return cls(
+            converged=bool(data["converged"]),
+            env_steps=int(data["env_steps"]),
+            updates=int(data["updates"]),
+            epochs_to_converge=(None if data.get("epochs_to_converge") is None
+                                else float(data["epochs_to_converge"])),
+            final_accuracy=float(data["final_accuracy"]),
+            final_guess_rate=float(data["final_guess_rate"]),
+            final_episode_length=float(data["final_episode_length"]),
+            final_episode_reward=float(data["final_episode_reward"]),
+            wall_time_seconds=float(data["wall_time_seconds"]),
+            history=(TrainingHistory.from_dict(history) if history else TrainingHistory()),
+            extraction=(None if extraction is None
+                        else AttackExtraction.from_dict(extraction)),
+        )
+
+    def to_json(self, include_history: bool = True, **json_kwargs) -> str:
+        return dump_json(self.to_dict(include_history=include_history), **json_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrainingResult":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
 
 class PPOTrainer:
     """Collect rollouts from a vector of guessing-game envs and run PPO updates.
@@ -55,6 +127,8 @@ class PPOTrainer:
         env_factory = as_env_factory(env_factory)
         self.config = ppo_config or PPOConfig()
         self.seed = seed
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.backbone = backbone
         self.rng = np.random.default_rng(seed)
         self.vec_env = VecEnv(env_factory, self.config.num_envs)
         self.eval_env = env_factory(1_000_000 + seed)
@@ -71,6 +145,28 @@ class PPOTrainer:
         self._episode_rewards = RunningStats(window=200)
         self._episode_lengths = RunningStats(window=200)
         self._episode_correct = RunningStats(window=200)
+        # Resumable-training state: the live observation batch, the last
+        # evaluation, and convergence bookkeeping survive checkpoints.
+        self._observations: Optional[np.ndarray] = None
+        self._last_evaluation: Optional[Dict[str, float]] = None
+        self._converged = False
+        self._epochs_to_converge: Optional[float] = None
+        self._update_callbacks: List[UpdateCallback] = []
+
+    # ------------------------------------------------------------- callbacks
+    def add_update_callback(self, callback: UpdateCallback) -> UpdateCallback:
+        """Register ``callback(trainer, update, metrics)`` to run after every
+        PPO update (checkpointing, live metric streaming, early stopping via
+        exceptions).  Callbacks are not part of checkpoint state."""
+        self._update_callbacks.append(callback)
+        return callback
+
+    def remove_update_callback(self, callback: UpdateCallback) -> None:
+        self._update_callbacks.remove(callback)
+
+    def _notify_update(self, update: int, metrics: Dict[str, float]) -> None:
+        for callback in list(self._update_callbacks):
+            callback(self, update, metrics)
 
     # ---------------------------------------------------------------- rollout
     def _collect_rollout(self, observations: np.ndarray) -> tuple:
@@ -98,16 +194,23 @@ class PPOTrainer:
               eval_every: int = 5, eval_episodes: int = 30,
               max_env_steps: Optional[int] = None,
               extract_on_success: bool = True) -> TrainingResult:
-        """Train until evaluation accuracy reaches the target or the budget runs out."""
+        """Train until evaluation accuracy reaches the target or the budget runs out.
+
+        The loop continues from ``self.updates_done``, so calling ``train()``
+        on a trainer restored via :meth:`load_checkpoint` picks up exactly
+        where the checkpoint left off (same RNG streams, same env states —
+        bit-identical to never having stopped).
+        """
         start = time.time()
-        observations = self.vec_env.reset()
-        converged = False
-        epochs_to_converge: Optional[float] = None
-        evaluation: Dict[str, float] = {"accuracy": 0.0, "guess_rate": 0.0,
-                                        "mean_episode_length": 0.0,
-                                        "mean_episode_reward": 0.0}
-        for update in range(1, max_updates + 1):
-            buffer, observations = self._collect_rollout(observations)
+        if self._observations is None:
+            self._observations = self.vec_env.reset()
+        if self._last_evaluation is None:
+            self._last_evaluation = {"accuracy": 0.0, "guess_rate": 0.0,
+                                     "mean_episode_length": 0.0,
+                                     "mean_episode_reward": 0.0}
+        while not self._converged and self.updates_done < max_updates:
+            update = self.updates_done + 1
+            buffer, self._observations = self._collect_rollout(self._observations)
             self.updater.set_progress(update / max_updates)
             metrics = self.updater.update(buffer)
             self.updates_done += 1
@@ -124,23 +227,27 @@ class PPOTrainer:
                                              episodes=eval_episodes, seed=self.seed + update)
                 self.history.record({"update": update, **{f"eval_{k}": v
                                                           for k, v in evaluation.items()}})
+                self._last_evaluation = evaluation
                 if (evaluation["accuracy"] >= target_accuracy
                         and evaluation["guess_rate"] >= target_accuracy):
-                    converged = True
-                    epochs_to_converge = self.env_steps / STEPS_PER_EPOCH
-                    break
+                    self._converged = True
+                    self._epochs_to_converge = self.env_steps / STEPS_PER_EPOCH
+            self._notify_update(update, metrics)
+            if self._converged:
+                break
             if max_env_steps is not None and self.env_steps >= max_env_steps:
                 break
 
         extraction = None
-        if extract_on_success and converged:
+        if extract_on_success and self._converged:
             extraction = extract_attack_sequence(self.eval_env, self.policy,
                                                  seed=self.seed)
+        evaluation = self._last_evaluation
         return TrainingResult(
-            converged=converged,
+            converged=self._converged,
             env_steps=self.env_steps,
             updates=self.updates_done,
-            epochs_to_converge=epochs_to_converge,
+            epochs_to_converge=self._epochs_to_converge,
             final_accuracy=evaluation["accuracy"],
             final_guess_rate=evaluation["guess_rate"],
             final_episode_length=evaluation["mean_episode_length"],
@@ -149,6 +256,90 @@ class PPOTrainer:
             history=self.history,
             extraction=extraction,
         )
+
+    # ------------------------------------------------------------ checkpoints
+    def save_checkpoint(self, path) -> None:
+        """Atomically write everything needed to resume training bit-identically.
+
+        The payload combines structured component state (policy parameters,
+        optimizer moments, RNG stream, counters, history) with the pickled
+        live environments — the cache state, episode progress, and per-env RNG
+        streams are what make a resumed run indistinguishable from an
+        uninterrupted one.
+        """
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "seed": self.seed,
+            "config": dataclasses.asdict(self.config),
+            "hidden_sizes": self.hidden_sizes,
+            "backbone": self.backbone,
+            "env_steps": self.env_steps,
+            "updates_done": self.updates_done,
+            "rng_state": self.rng.bit_generator.state,
+            "policy_state": self.policy.state_dict(),
+            "updater_state": self.updater.state_dict(),
+            "history": self.history.to_dict(),
+            "episode_stats": (self._episode_rewards, self._episode_lengths,
+                              self._episode_correct),
+            "converged": self._converged,
+            "epochs_to_converge": self._epochs_to_converge,
+            "last_evaluation": self._last_evaluation,
+            # One pickle payload so aliasing between the observation batch and
+            # the vec env's double buffers survives the round trip.
+            "world": {"vec_env": self.vec_env, "eval_env": self.eval_env,
+                      "observations": self._observations},
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as stream:
+            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load_checkpoint(cls, path) -> "PPOTrainer":
+        """Restore a trainer saved by :meth:`save_checkpoint` (any process)."""
+        with open(path, "rb") as stream:
+            payload = pickle.load(stream)
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(f"{path} is not a PPOTrainer checkpoint")
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {payload.get('version')!r}")
+        trainer = cls.__new__(cls)
+        trainer.config = PPOConfig(**payload["config"])
+        trainer.seed = payload["seed"]
+        trainer.hidden_sizes = tuple(payload["hidden_sizes"])
+        trainer.backbone = payload["backbone"]
+        trainer.rng = np.random.default_rng(trainer.seed)
+        trainer.rng.bit_generator.state = payload["rng_state"]
+        world = payload["world"]
+        trainer.vec_env = world["vec_env"]
+        trainer.eval_env = world["eval_env"]
+        trainer._observations = world["observations"]
+        window_shape = (trainer.eval_env.encoder.window_size,
+                        trainer.eval_env.encoder.step_features)
+        trainer.policy = ActorCriticPolicy(trainer.vec_env.observation_size,
+                                           trainer.vec_env.num_actions,
+                                           hidden_sizes=trainer.hidden_sizes,
+                                           backbone=trainer.backbone,
+                                           window_shape=window_shape,
+                                           rng=np.random.default_rng(trainer.seed))
+        trainer.policy.load_state_dict(payload["policy_state"])
+        trainer.updater = PPOUpdater(trainer.policy, trainer.config, rng=trainer.rng)
+        trainer.updater.load_state_dict(payload["updater_state"])
+        trainer.env_steps = int(payload["env_steps"])
+        trainer.updates_done = int(payload["updates_done"])
+        trainer.history = TrainingHistory.from_dict(payload["history"])
+        rewards, lengths, correct = payload["episode_stats"]
+        trainer._episode_rewards = rewards
+        trainer._episode_lengths = lengths
+        trainer._episode_correct = correct
+        trainer._converged = bool(payload["converged"])
+        trainer._epochs_to_converge = payload["epochs_to_converge"]
+        trainer._last_evaluation = payload["last_evaluation"]
+        trainer._update_callbacks = []
+        return trainer
 
     # --------------------------------------------------------------- analysis
     def evaluate(self, episodes: int = 100, deterministic: bool = True) -> Dict[str, float]:

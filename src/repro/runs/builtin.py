@@ -1,0 +1,135 @@
+"""The built-in experiment catalogue: every table and figure of the paper.
+
+Each spec names its driver module (which implements ``run_cell``), its static
+cell grid (or defers to ``driver.cells(scale)`` when the grid depends on the
+scale), and the row schema.  Importing :mod:`repro.runs` registers all of
+these, so ``python -m repro list`` works out of the box.
+"""
+
+from __future__ import annotations
+
+from repro.runs.registry import register_experiment
+from repro.runs.spec import ExperimentSpec
+
+
+def _register_builtin_experiments() -> None:
+    register_experiment(ExperimentSpec(
+        experiment_id="table1",
+        description="Table I: known cache-timing attacks verified on the simulator",
+        driver="repro.experiments.table1_known_attacks",
+        columns=("attack_category", "attacker_actions", "victim_actions",
+                 "observation", "accuracy"),
+        grid=tuple({"attack_category": name} for name in
+                   ("prime+probe", "flush+reload", "evict+reload",
+                    "lru state (addr-based)")),
+        tags=("fast", "scripted"),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="table3",
+        description="Table III: attacks found on simulated real hardware (blackbox machines)",
+        driver="repro.experiments.table3",
+        columns=("cpu", "cache_level", "ways", "documented_policy",
+                 "victim_addr", "attack_addr", "accuracy", "attack_category"),
+        # Scale-dependent grid: bench trains one tractable machine, paper all
+        # of Table III (driver.cells(scale) decides).
+        grid=(),
+        tags=("rl", "blackbox"),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="table4",
+        description="Table IV: attacks across 17 cache/attack configurations",
+        driver="repro.experiments.table4",
+        columns=("config", "description", "expected_attacks", "textbook_category",
+                 "textbook_accuracy", "rl_trained", "rl_accuracy", "rl_category"),
+        grid=tuple({"config": number} for number in range(1, 18)),
+        tags=("rl", "textbook"),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="table5",
+        description="Table V: RL training statistics per replacement policy",
+        driver="repro.experiments.table5",
+        columns=("replacement_policy", "epochs_to_converge", "episode_length",
+                 "accuracy", "converged_runs", "runs"),
+        grid=tuple({"policy": policy} for policy in ("lru", "plru", "rrip")),
+        tags=("rl",),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="table6",
+        description="Table VI: RL attacks on the random replacement policy",
+        driver="repro.experiments.table6",
+        columns=("step_reward", "end_accuracy", "episode_length", "converged"),
+        grid=tuple({"step_reward": reward} for reward in (-0.02, -0.01, -0.005)),
+        tags=("rl",),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="table7",
+        description="Table VII: attacking the partition-locked (PL) cache",
+        driver="repro.experiments.table7",
+        columns=("cache", "epochs_to_converge", "final_episode_length", "accuracy"),
+        grid=({"cache": "PL Cache", "pl_cache": True},
+              {"cache": "Baseline", "pl_cache": False}),
+        tags=("rl", "defense"),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="table8",
+        description="Table VIII: bypassing CC-Hunter's autocorrelation detection",
+        driver="repro.experiments.table8_fig3",
+        columns=("attack", "bit_rate", "guess_accuracy", "max_autocorrelation"),
+        grid=({"attack": "textbook"}, {"attack": "RL baseline"},
+              {"attack": "RL autocor"}),
+        tags=("rl", "covert", "detection"),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="table9",
+        description="Table IX: bypassing the Cyclone-style SVM detector",
+        driver="repro.experiments.table9",
+        columns=("attack", "bit_rate", "guess_accuracy", "detection_rate",
+                 "svm_validation_accuracy"),
+        grid=({"attack": "textbook"}, {"attack": "RL baseline"},
+              {"attack": "RL SVM"}),
+        tags=("rl", "covert", "detection"),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="table10",
+        description="Table X: covert-channel bit rates on (simulated) real machines",
+        driver="repro.experiments.table10_fig5",
+        columns=("cpu", "microarchitecture", "l1d_config", "os",
+                 "lru_bit_rate_mbps", "ss_bit_rate_mbps", "improvement"),
+        grid=tuple({"machine": name} for name in
+                   ("Xeon E5-2687W v2", "Core i7-6700", "Core i5-11600K",
+                    "Xeon W-1350P")),
+        tags=("fast", "covert"),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="fig4",
+        description="Figure 4: StealthyStreamline vs prior attacks on the simulator",
+        driver="repro.experiments.fig4",
+        columns=("channel", "bits_per_symbol", "bits_per_access", "measured_fraction",
+                 "error_rate", "victim_misses", "bypasses_miss_detection"),
+        grid=({"channel": "lru_address_based"}, {"channel": "streamline"},
+              {"channel": "stealthy_streamline"}),
+        tags=("fast", "covert"),
+    ))
+
+    register_experiment(ExperimentSpec(
+        experiment_id="search",
+        description="Section VI-A: brute-force search vs RL step budgets",
+        driver="repro.experiments.search_comparison",
+        columns=("num_ways", "kind", "brute_force_sequences", "brute_force_steps",
+                 "rl_steps_reference"),
+        grid=tuple([{"kind": "analytical", "num_ways": n} for n in (2, 4, 6, 8, 12, 16)]
+                   + [{"kind": "empirical", "num_ways": 2}]),
+        tags=("fast", "analysis"),
+    ))
+
+
+_register_builtin_experiments()

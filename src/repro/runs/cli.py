@@ -1,0 +1,152 @@
+"""``python -m repro`` — the campaign command line.
+
+Subcommands
+-----------
+``run``      run (or resume) an experiment campaign and print its rows
+``list``     list registered experiments (``--scenarios`` for environments)
+``status``   show completion state of every campaign artifact under a root
+``results``  print the rows of an existing campaign artifact
+
+Examples::
+
+    python -m repro run table5 --scale smoke --workers 4
+    python -m repro run table1 --scale smoke --format json
+    python -m repro status --root runs
+    python -m repro results table5 --scale smoke --format table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import SCALES
+from repro.rl.stats import dump_json
+from repro.runs.context import CampaignInterrupted
+from repro.runs.registry import get_experiment, list_experiments
+from repro.runs.runner import list_campaigns, load_rows, run
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=sorted(SCALES), default=None,
+                        help="training budget preset (default: the experiment's own)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, inspect, and resume the paper's experiment campaigns.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run (or resume) an experiment campaign",
+        description="Run an experiment campaign; re-running on the same "
+                    "artifact directory skips completed cells and resumes "
+                    "in-flight training from checkpoints.")
+    run_parser.add_argument("experiment", help="registered experiment id (see 'list')")
+    _add_scale_argument(run_parser)
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="campaign seed (default: the experiment's base seed)")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes for parallel cell execution")
+    run_parser.add_argument("--out-dir", default=None,
+                            help="explicit artifact directory (overrides --root)")
+    run_parser.add_argument("--root", default="runs",
+                            help="artifact root directory (default: runs)")
+    run_parser.add_argument("--checkpoint-every", type=int, default=2,
+                            help="save a resumable checkpoint every N PPO updates")
+    run_parser.add_argument("--format", choices=("table", "json", "none"),
+                            default="table", help="how to print the resulting rows")
+
+    list_parser = commands.add_parser("list", help="list registered experiments")
+    list_parser.add_argument("--scenarios", action="store_true",
+                             help="list registered environment scenarios instead")
+
+    status_parser = commands.add_parser(
+        "status", help="show completion state of campaign artifacts")
+    status_parser.add_argument("--root", default="runs",
+                               help="artifact root directory (default: runs)")
+
+    results_parser = commands.add_parser(
+        "results", help="print the rows of an existing campaign artifact")
+    results_parser.add_argument("experiment", help="registered experiment id")
+    _add_scale_argument(results_parser)
+    results_parser.add_argument("--seed", type=int, default=None)
+    results_parser.add_argument("--root", default="runs")
+    results_parser.add_argument("--out-dir", default=None,
+                                help="explicit artifact directory (overrides --root)")
+    results_parser.add_argument("--format", choices=("table", "json"), default="table")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        campaign = run(args.experiment, scale=args.scale, seed=args.seed,
+                       workers=args.workers, out_dir=args.out_dir, root=args.root,
+                       checkpoint_every=args.checkpoint_every)
+    except CampaignInterrupted as error:
+        print(f"campaign interrupted: {error}", file=sys.stderr)
+        print("re-run the same command to resume from the checkpoint",
+              file=sys.stderr)
+        return 3
+    if args.format == "table":
+        print(campaign.format_results())
+    elif args.format == "json":
+        print(dump_json(campaign.to_dict(), indent=2))
+    if args.format != "json":
+        resumed = f" ({campaign.resumed} cells reused)" if campaign.resumed else ""
+        print(f"\n{campaign.completed}/{len(campaign.cells)} cells complete{resumed}; "
+              f"artifacts in {campaign.out_dir}")
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        import repro
+
+        for scenario_id in repro.list_scenarios():
+            print(scenario_id)
+        return 0
+    for experiment_id in list_experiments():
+        spec = get_experiment(experiment_id)
+        cells = f"{len(spec.grid)} cells" if spec.grid else "scale-dependent cells"
+        print(f"{experiment_id:<10} {cells:<22} {spec.description}")
+    return 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    campaigns = list_campaigns(args.root)
+    if not campaigns:
+        print(f"no campaign artifacts under {args.root}/")
+        return 0
+    header = f"{'campaign':<28} {'experiment':<10} {'scale':<6} {'cells':<9} status"
+    print(header)
+    print("-" * len(header))
+    for status in campaigns:
+        cells = f"{status['completed']}/{status['cells']}"
+        print(f"{status['campaign']:<28} {status['experiment']:<10} "
+              f"{status['scale']:<6} {cells:<9} {status['status']}")
+    return 0
+
+
+def _command_results(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    try:
+        rows = load_rows(spec, scale=args.scale, seed=args.seed,
+                         root=args.root, out_dir=args.out_dir)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(dump_json(rows, indent=2))
+    else:
+        print(spec.format_rows(rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": _command_run, "list": _command_list,
+                "status": _command_status, "results": _command_results}
+    return handlers[args.command](args)

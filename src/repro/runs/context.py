@@ -1,0 +1,128 @@
+"""Per-cell execution context: checkpoints, artifacts, and fault injection.
+
+A :class:`CellContext` is handed to a driver's ``run_cell()`` (and threaded
+into :func:`repro.experiments.common.train_agent`) when the cell runs inside a
+campaign.  It owns the cell's artifact directory and provides:
+
+* **checkpointing** — a trainer callback that saves a resumable
+  :class:`~repro.rl.trainer.PPOTrainer` checkpoint every
+  ``checkpoint_every`` updates;
+* **memoization** — a finished training persists its
+  :class:`~repro.rl.trainer.TrainingResult` (JSON), training history (JSONL),
+  extracted attack sequences (JSON), and policy (pickle), so a resumed cell
+  skips completed trainings entirely;
+* **fault injection** — ``interrupt_after_updates`` kills the campaign right
+  after a checkpoint is written, which is how the resume tests (and the CI
+  kill/resume job) simulate a crash deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.rl.stats import dump_json, json_ready
+from repro.rl.trainer import PPOTrainer, TrainingResult
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised by the fault-injection hook after a checkpoint has been saved."""
+
+
+@dataclass
+class CellContext:
+    """Artifact directory + checkpoint policy for one running campaign cell."""
+
+    cell_dir: Path
+    checkpoint_every: int = 2
+    interrupt_after_updates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.cell_dir = Path(self.cell_dir)
+
+    # ------------------------------------------------------------------ paths
+    def checkpoint_path(self, name: str = "train") -> Path:
+        return self.cell_dir / f"{name}.checkpoint.pkl"
+
+    def result_path(self, name: str = "train") -> Path:
+        return self.cell_dir / f"{name}.result.json"
+
+    def history_path(self, name: str = "train") -> Path:
+        return self.cell_dir / f"{name}.history.jsonl"
+
+    def extraction_path(self, name: str = "train") -> Path:
+        return self.cell_dir / f"{name}.extraction.json"
+
+    def policy_path(self, name: str = "train") -> Path:
+        return self.cell_dir / f"{name}.policy.pkl"
+
+    def meta_path(self, name: str = "train") -> Path:
+        return self.cell_dir / f"{name}.meta.json"
+
+    # ------------------------------------------------------------- guardrails
+    def ensure_training_meta(self, name: str, meta: dict) -> None:
+        """Bind this cell's artifacts to one set of training parameters.
+
+        The campaign runner guards whole campaigns through the manifest, but a
+        CellContext can also be used standalone (see
+        ``examples/real_hardware_exploration.py``); this check refuses to
+        resume a checkpoint or reuse a memoized result that was produced under
+        different parameters (e.g. a different scale).
+        """
+        meta = json_ready(meta)
+        path = self.meta_path(name)
+        if path.exists():
+            existing = json.loads(path.read_text())
+            if existing != meta:
+                raise ValueError(
+                    f"{self.cell_dir} holds artifacts for training {name!r} with "
+                    f"different parameters ({existing} != {meta}); use a fresh "
+                    "directory or delete the old artifacts")
+            return
+        self.cell_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(dump_json(meta))
+
+    # ------------------------------------------------------------ checkpoints
+    def checkpoint_callback(self, path: Path):
+        """A trainer on-update callback that checkpoints (and maybe faults)."""
+
+        def callback(trainer: PPOTrainer, update: int, _metrics) -> None:
+            if (self.interrupt_after_updates is not None
+                    and update >= self.interrupt_after_updates):
+                trainer.save_checkpoint(path)
+                raise CampaignInterrupted(
+                    f"injected interrupt after update {update} (checkpoint at {path})")
+            if self.checkpoint_every and update % self.checkpoint_every == 0:
+                trainer.save_checkpoint(path)
+
+        return callback
+
+    # ------------------------------------------------------------ memoization
+    def save_training(self, name: str, result: TrainingResult, policy) -> None:
+        """Persist a finished training's artifacts and drop its checkpoint."""
+        self.cell_dir.mkdir(parents=True, exist_ok=True)
+        self.history_path(name).write_text(result.history.to_jsonl() + "\n")
+        if result.extraction is not None:
+            self.extraction_path(name).write_text(dump_json(result.extraction.to_dict()))
+        with open(self.policy_path(name), "wb") as stream:
+            pickle.dump(policy, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        # The result JSON is written last: its existence marks the training
+        # as complete, so a crash between these writes stays resumable.
+        self.result_path(name).write_text(result.to_json())
+        checkpoint = self.checkpoint_path(name)
+        if checkpoint.exists():
+            checkpoint.unlink()
+
+    def load_training(self, name: str) -> Optional[TrainingResult]:
+        """A previously finished training's result, or None."""
+        path = self.result_path(name)
+        if not path.exists():
+            return None
+        return TrainingResult.from_json(path.read_text())
+
+    def load_policy(self, name: str):
+        with open(self.policy_path(name), "rb") as stream:
+            return pickle.load(stream)

@@ -1,0 +1,348 @@
+"""The campaign runner behind ``repro.run()``.
+
+A *campaign* is one experiment × one scale × one seed, expanded into
+independent *cells* (one per table row).  The runner:
+
+* writes a **persistent run artifact** under ``out_dir`` (default
+  ``runs/<experiment>-<scale>[-seed<seed>]``)::
+
+      runs/table5-smoke/
+        manifest.json                 # spec + scale + seed + cell grid
+        results.json                  # all rows, written when complete
+        cells/
+          c00-lru/
+            result.json               # the finished row + timing
+            run0.result.json          # memoized TrainingResult
+            run0.history.jsonl        # per-update training metrics
+            run0.extraction.json      # extracted attack sequences
+            run0.policy.pkl           # trained policy (for re-evaluation)
+            run0.checkpoint.pkl       # only while the training is in flight
+
+* executes cells **serially or across a multiprocessing pool**
+  (``workers=N``).  Cells are seeded deterministically and share no state, so
+  serial and parallel execution produce identical rows;
+
+* **resumes**: re-invoking ``repro.run()`` on an existing out_dir skips cells
+  whose ``result.json`` exists, and in-flight PPO trainings continue from
+  their checkpoints — bit-identical to a never-interrupted campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.common import ExperimentScale, ScaleLike, resolve_scale
+from repro.rl.stats import dump_json
+from repro.runs.context import CampaignInterrupted, CellContext
+from repro.runs.registry import ExperimentLike, resolve_experiment
+from repro.runs.spec import ExperimentSpec
+
+MANIFEST_FORMAT = "repro-campaign"
+MANIFEST_VERSION = 1
+
+# Deterministic fault injection for the CI kill/resume job (see CellContext).
+INTERRUPT_ENV_VAR = "REPRO_RUN_INTERRUPT_AFTER_UPDATES"
+
+
+@dataclass
+class CampaignResult:
+    """What ``repro.run()`` returns: the rows plus the artifact locations."""
+
+    spec: ExperimentSpec
+    scale: ExperimentScale
+    seed: int
+    out_dir: Path
+    rows: List[Dict]
+    cells: List[Dict] = field(default_factory=list)
+    workers: int = 1
+
+    @property
+    def experiment_id(self) -> str:
+        return self.spec.experiment_id
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for cell in self.cells if cell["status"] in ("completed", "cached"))
+
+    @property
+    def resumed(self) -> int:
+        """Cells whose finished row was loaded from a previous invocation."""
+        return sum(1 for cell in self.cells if cell["status"] == "cached")
+
+    def format_results(self) -> str:
+        return self.spec.format_rows(self.rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment_id,
+            "scale": self.scale.name,
+            "seed": self.seed,
+            "out_dir": str(self.out_dir),
+            "workers": self.workers,
+            "cells": self.cells,
+            "rows": self.rows,
+        }
+
+
+def campaign_id(experiment_id: str, scale: ExperimentScale, seed: int) -> str:
+    """Deterministic campaign directory name (no timestamps, so resume finds it)."""
+    name = f"{experiment_id}-{scale.name}"
+    if seed:
+        name += f"-seed{seed}"
+    return name
+
+
+def cell_slug(index: int, params: Dict) -> str:
+    """Short stable directory name for one cell."""
+    values = "-".join(str(v) for v in params.values() if isinstance(v, (str, int, float)))
+    values = "".join(ch if ch.isalnum() or ch in "-._" else "_" for ch in values)
+    return f"c{index:02d}" + (f"-{values[:40]}" if values else "")
+
+
+def _cell_dir(out_dir: Path, index: int, params: Dict) -> Path:
+    return out_dir / "cells" / cell_slug(index, params)
+
+
+def _manifest_payload(spec: ExperimentSpec, scale: ExperimentScale, seed: int,
+                      cells: List[Dict]) -> Dict[str, Any]:
+    return {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "experiment": spec.to_dict(),
+        "scale": scale.to_dict(),
+        "seed": seed,
+        "cells": [{"index": index, "slug": cell_slug(index, params), "params": params}
+                  for index, params in enumerate(cells)],
+    }
+
+
+def _check_manifest(existing: Dict, fresh: Dict, out_dir: Path) -> None:
+    """Refuse to resume into a directory holding a *different* campaign."""
+    for key in ("experiment", "scale", "seed", "cells"):
+        if existing.get(key) != fresh[key]:
+            raise ValueError(
+                f"{out_dir} already holds a different campaign ({key} differs); "
+                "pass a fresh out_dir or delete the old artifact")
+
+
+def _execute_cell(spec_data: Dict, scale_data: Dict, seed: int, index: int,
+                  params: Dict, cell_dir: str, checkpoint_every: int,
+                  interrupt_after_updates: Optional[int]) -> Dict:
+    """Run one cell to completion (resuming in-flight training if any).
+
+    Takes and returns plain data so it can cross a multiprocessing boundary.
+    """
+    spec = ExperimentSpec.from_dict(spec_data)
+    scale = ExperimentScale.from_dict(scale_data)
+    cell_path = Path(cell_dir)
+    result_file = cell_path / "result.json"
+    if result_file.exists():
+        row = json.loads(result_file.read_text())["row"]
+        return {"index": index, "row": row, "status": "cached"}
+    cell_path.mkdir(parents=True, exist_ok=True)
+    ctx = CellContext(cell_path, checkpoint_every=checkpoint_every,
+                      interrupt_after_updates=interrupt_after_updates)
+    started = time.time()
+    row = spec.run_cell(params, scale, seed=seed, ctx=ctx)
+    payload = {
+        "experiment": spec.experiment_id,
+        "scale": scale.name,
+        "seed": seed,
+        "index": index,
+        "params": params,
+        "row": row,
+        "elapsed_seconds": time.time() - started,
+    }
+    result_file.write_text(dump_json(payload, indent=2))
+    # Round-trip the row through the same JSON path that resume uses, so
+    # serial, parallel, and resumed campaigns return identical rows.
+    return {"index": index, "row": json.loads(result_file.read_text())["row"],
+            "status": "completed"}
+
+
+def _cell_worker(payload: Dict) -> Dict:
+    """Pool entry point: never raises; errors travel back as data."""
+    try:
+        return _execute_cell(**payload)
+    except CampaignInterrupted as error:
+        return {"index": payload["index"], "status": "interrupted", "error": str(error)}
+    except Exception:
+        return {"index": payload["index"], "status": "failed",
+                "error": traceback.format_exc()}
+
+
+def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
+        seed: Optional[int] = None, workers: int = 1,
+        out_dir: Optional[os.PathLike] = None, root: os.PathLike = "runs",
+        checkpoint_every: int = 2,
+        interrupt_after_updates: Optional[int] = None) -> CampaignResult:
+    """Run (or resume) an experiment campaign and return its rows.
+
+    Parameters
+    ----------
+    experiment:
+        Registered experiment id or an :class:`ExperimentSpec`.
+    scale:
+        ``"smoke"`` / ``"bench"`` / ``"paper"`` or an
+        :class:`~repro.experiments.common.ExperimentScale`; defaults to the
+        spec's ``default_scale``.
+    seed:
+        Campaign seed (defaults to the spec's ``base_seed``).  Every cell
+        derives its training seeds from it exactly like the legacy
+        ``tableN.run(seed=...)`` functions.
+    workers:
+        Number of processes for cell execution.  ``workers=1`` runs in-process;
+        results are row-for-row identical either way.
+    out_dir / root:
+        Artifact location.  Default: ``<root>/<experiment>-<scale>[-seedN]``.
+    checkpoint_every:
+        Save a resumable trainer checkpoint every N PPO updates.
+    interrupt_after_updates:
+        Fault injection for tests/CI: abort the campaign right after the
+        checkpoint at that update is written (also settable through the
+        ``REPRO_RUN_INTERRUPT_AFTER_UPDATES`` env var).
+    """
+    spec = resolve_experiment(experiment)
+    scale = resolve_scale(scale if scale is not None else spec.default_scale)
+    seed = spec.base_seed if seed is None else int(seed)
+    if interrupt_after_updates is None and os.environ.get(INTERRUPT_ENV_VAR):
+        interrupt_after_updates = int(os.environ[INTERRUPT_ENV_VAR])
+
+    out_dir = (Path(out_dir) if out_dir is not None
+               else Path(root) / campaign_id(spec.experiment_id, scale, seed))
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    cells = spec.cells(scale)
+    manifest = _manifest_payload(spec, scale, seed, cells)
+    manifest_file = out_dir / "manifest.json"
+    if manifest_file.exists():
+        _check_manifest(json.loads(manifest_file.read_text()), manifest, out_dir)
+    else:
+        manifest_file.write_text(dump_json(manifest, indent=2))
+
+    payloads = [{
+        "spec_data": spec.to_dict(),
+        "scale_data": scale.to_dict(),
+        "seed": seed,
+        "index": index,
+        "params": params,
+        "cell_dir": str(_cell_dir(out_dir, index, params)),
+        "checkpoint_every": checkpoint_every,
+        "interrupt_after_updates": interrupt_after_updates,
+    } for index, params in enumerate(cells)]
+
+    # Cached cells cost one JSON read; only dispatch real work to the pool.
+    pending, cached = [], []
+    for payload in payloads:
+        target = pending if not (Path(payload["cell_dir"]) / "result.json").exists() else cached
+        target.append(payload)
+    outcomes: Dict[int, Dict] = {}
+    for payload in cached:
+        outcomes[payload["index"]] = _execute_cell(**payload)
+
+    if len(pending) <= 1 or workers <= 1:
+        for payload in pending:
+            outcomes[payload["index"]] = _execute_cell(**payload)
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
+            for outcome in pool.imap_unordered(_cell_worker, pending):
+                outcomes[outcome["index"]] = outcome
+    _raise_on_failures(outcomes)
+
+    ordered = [outcomes[index] for index in range(len(cells))]
+    rows = [outcome["row"] for outcome in ordered]
+    cell_summaries = [{"index": index, "params": cells[index],
+                       "slug": cell_slug(index, cells[index]),
+                       "status": ordered[index]["status"]}
+                      for index in range(len(cells))]
+    (out_dir / "results.json").write_text(dump_json({
+        "experiment": spec.experiment_id, "scale": scale.name, "seed": seed,
+        "rows": rows,
+    }, indent=2))
+    return CampaignResult(spec=spec, scale=scale, seed=seed, out_dir=out_dir,
+                          rows=rows, cells=cell_summaries, workers=workers)
+
+
+def _raise_on_failures(outcomes: Dict[int, Dict]) -> None:
+    interrupted = [o for o in outcomes.values() if o.get("status") == "interrupted"]
+    failed = [o for o in outcomes.values() if o.get("status") == "failed"]
+    if interrupted:
+        raise CampaignInterrupted(interrupted[0]["error"])
+    if failed:
+        details = "\n\n".join(o["error"] for o in failed)
+        raise RuntimeError(f"{len(failed)} campaign cell(s) failed:\n{details}")
+
+
+# --------------------------------------------------------------- inspection
+def campaign_status(out_dir: os.PathLike) -> Optional[Dict[str, Any]]:
+    """Status summary for one campaign directory (None if not a campaign)."""
+    out_dir = Path(out_dir)
+    manifest_file = out_dir / "manifest.json"
+    if not manifest_file.exists():
+        return None
+    manifest = json.loads(manifest_file.read_text())
+    if manifest.get("format") != MANIFEST_FORMAT:
+        return None
+    cells = manifest.get("cells", [])
+    done = in_flight = 0
+    for cell in cells:
+        cell_dir = out_dir / "cells" / cell["slug"]
+        if (cell_dir / "result.json").exists():
+            done += 1
+        elif any(cell_dir.glob("*.checkpoint.pkl")) or any(cell_dir.glob("*.result.json")):
+            # An in-flight checkpoint, or memoized finished trainings of a
+            # multi-run cell interrupted between trainings.
+            in_flight += 1
+    return {
+        "campaign": out_dir.name,
+        "out_dir": str(out_dir),
+        "experiment": manifest["experiment"]["experiment_id"],
+        "scale": manifest["scale"]["name"],
+        "seed": manifest["seed"],
+        "cells": len(cells),
+        "completed": done,
+        "in_flight": in_flight,
+        "status": ("complete" if done == len(cells)
+                   else "in-flight" if (done or in_flight) else "pending"),
+    }
+
+
+def list_campaigns(root: os.PathLike = "runs") -> List[Dict[str, Any]]:
+    """Status of every campaign artifact under ``root``."""
+    root = Path(root)
+    if not root.exists():
+        return []
+    statuses = []
+    for child in sorted(root.iterdir()):
+        status = campaign_status(child)
+        if status is not None:
+            statuses.append(status)
+    return statuses
+
+
+def load_rows(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
+              seed: Optional[int] = None, root: os.PathLike = "runs",
+              out_dir: Optional[os.PathLike] = None) -> List[Dict]:
+    """Rows of a finished (or partially finished) campaign artifact."""
+    spec = resolve_experiment(experiment)
+    scale = resolve_scale(scale if scale is not None else spec.default_scale)
+    seed = spec.base_seed if seed is None else int(seed)
+    out_dir = (Path(out_dir) if out_dir is not None
+               else Path(root) / campaign_id(spec.experiment_id, scale, seed))
+    manifest_file = out_dir / "manifest.json"
+    if not manifest_file.exists():
+        raise FileNotFoundError(f"no campaign artifact at {out_dir}")
+    manifest = json.loads(manifest_file.read_text())
+    rows = []
+    for cell in manifest.get("cells", []):
+        result_file = out_dir / "cells" / cell["slug"] / "result.json"
+        if result_file.exists():
+            rows.append(json.loads(result_file.read_text())["row"])
+    return rows

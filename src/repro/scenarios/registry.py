@@ -106,19 +106,36 @@ def make(scenario: ScenarioLike, seed: Optional[int] = None,
     return spec.build(seed=seed, runtime=runtime)
 
 
+class SpecFactory:
+    """A picklable ``factory(seed) -> env`` for a resolved scenario spec.
+
+    Being a plain object (rather than a closure) lets trainers that hold a
+    factory be checkpointed with ``pickle`` and rebuilt in another process.
+    The resolved spec is exposed as ``.spec`` so consumers (``VecEnv``'s
+    batched fast path) can introspect what will be built.
+    """
+
+    __slots__ = ("spec", "runtime")
+
+    def __init__(self, spec: ScenarioSpec, runtime: Optional[Dict[str, Any]] = None):
+        self.spec = spec
+        self.runtime = dict(runtime or {})
+
+    def __call__(self, seed: int):
+        return self.spec.build(seed=seed, runtime=dict(self.runtime))
+
+    def __repr__(self) -> str:
+        return f"SpecFactory({self.spec.scenario_id!r})"
+
+
 def make_factory(scenario: ScenarioLike, detector: Optional[Any] = None,
                  **overrides) -> Callable[[int], Any]:
-    """A ``factory(seed) -> env`` closure for trainers and vectorized envs."""
+    """A picklable ``factory(seed) -> env`` for trainers and vectorized envs."""
     spec = resolve(scenario)
     if overrides:
         spec = spec.with_overrides(**overrides)
     runtime = {"detector": detector} if detector is not None else {}
-
-    def factory(seed: int):
-        return spec.build(seed=seed, runtime=dict(runtime))
-
-    factory.spec = spec
-    return factory
+    return SpecFactory(spec, runtime)
 
 
 def as_env_factory(source: Union[ScenarioLike, Callable[[int], Any]],

@@ -1,0 +1,253 @@
+"""Tests for the experiment registry, campaign runner, artifacts, and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.experiments import table1_known_attacks, table5
+from repro.experiments.common import SMOKE, resolve_scale
+from repro.rl.stats import dump_json
+from repro.runs import (
+    CampaignInterrupted,
+    CellContext,
+    ExperimentSpec,
+    campaign_status,
+    get_experiment,
+    list_campaigns,
+    list_experiments,
+    load_rows,
+    register_experiment,
+    unregister_experiment,
+)
+from repro.runs.cli import main as cli_main
+from repro.runs.runner import cell_slug
+
+EXPECTED_EXPERIMENTS = {"table1", "table3", "table4", "table5", "table6", "table7",
+                        "table8", "table9", "table10", "fig4", "search"}
+
+
+class TestExperimentSpec:
+    def test_builtin_catalogue_registered(self):
+        assert EXPECTED_EXPERIMENTS <= set(list_experiments())
+
+    def test_json_roundtrip_for_every_builtin(self):
+        for experiment_id in list_experiments():
+            spec = get_experiment(experiment_id)
+            restored = ExperimentSpec.from_json(spec.to_json())
+            assert restored == spec
+
+    def test_requires_driver(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(experiment_id="x")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict({"experiment_id": "x", "driver": "y", "bogus": 1})
+
+    def test_cells_static_grid(self):
+        spec = get_experiment("table5")
+        cells = spec.cells("smoke")
+        assert cells == [{"policy": "lru"}, {"policy": "plru"}, {"policy": "rrip"}]
+        cells[0]["policy"] = "mutated"
+        assert spec.cells("smoke")[0] == {"policy": "lru"}, "cells must be copies"
+
+    def test_cells_scale_dependent(self):
+        table3 = get_experiment("table3")
+        assert len(table3.cells("bench")) == 1
+        assert len(table3.cells("paper")) > 1
+
+    def test_registry_guards(self):
+        spec = ExperimentSpec(experiment_id="tmp/exp", driver="repro.experiments.fig4")
+        register_experiment(spec)
+        try:
+            with pytest.raises(ValueError):
+                register_experiment(spec)
+            register_experiment(spec, overwrite=True)
+            assert get_experiment("tmp/exp") == spec
+        finally:
+            unregister_experiment("tmp/exp")
+        with pytest.raises(KeyError):
+            get_experiment("tmp/exp")
+
+    def test_format_rows_uses_driver_formatter(self):
+        spec = get_experiment("table1")
+        rows = [{"attack_category": "prime+probe", "accuracy": 1.0}]
+        assert "Table I" in spec.format_rows(rows)
+
+
+class TestCampaignFastExperiments:
+    """Fast, training-free experiments exercise the whole runner cheaply."""
+
+    def test_rows_identical_to_legacy_shim(self, tmp_path):
+        campaign = repro.run("table1", scale="smoke", out_dir=tmp_path / "c")
+        assert dump_json(campaign.rows) == dump_json(table1_known_attacks.run("smoke"))
+
+    def test_artifact_layout(self, tmp_path):
+        out = tmp_path / "c"
+        campaign = repro.run("fig4", scale="smoke", out_dir=out)
+        assert (out / "manifest.json").exists()
+        assert (out / "results.json").exists()
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["experiment"]["experiment_id"] == "fig4"
+        assert [c["params"] for c in manifest["cells"]] == campaign.spec.cells("smoke")
+        for cell in manifest["cells"]:
+            result = json.loads((out / "cells" / cell["slug"] / "result.json").read_text())
+            assert result["row"] == campaign.rows[cell["index"]]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = repro.run("search", scale="smoke", out_dir=tmp_path / "serial")
+        parallel = repro.run("search", scale="smoke", workers=4,
+                             out_dir=tmp_path / "parallel")
+        assert dump_json(serial.rows) == dump_json(parallel.rows)
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        out = tmp_path / "c"
+        first = repro.run("table10", scale="smoke", out_dir=out)
+        second = repro.run("table10", scale="smoke", out_dir=out)
+        assert second.resumed == len(second.cells)
+        assert dump_json(second.rows) == dump_json(first.rows)
+
+    def test_refuses_mismatched_out_dir(self, tmp_path):
+        out = tmp_path / "c"
+        repro.run("table1", scale="smoke", out_dir=out)
+        with pytest.raises(ValueError):
+            repro.run("fig4", scale="smoke", out_dir=out)
+        with pytest.raises(ValueError):
+            repro.run("table1", scale="smoke", seed=9, out_dir=out)
+
+    def test_status_and_load_rows(self, tmp_path):
+        campaign = repro.run("table1", scale="smoke", root=tmp_path)
+        status = campaign_status(campaign.out_dir)
+        assert status["status"] == "complete"
+        assert status["completed"] == status["cells"] == 4
+        assert [s["campaign"] for s in list_campaigns(tmp_path)] == ["table1-smoke"]
+        rows = load_rows("table1", scale="smoke", root=tmp_path)
+        assert dump_json(rows) == dump_json(campaign.rows)
+
+    def test_load_rows_missing_campaign(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_rows("table1", scale="smoke", root=tmp_path)
+
+    def test_cell_slug_stability(self):
+        assert cell_slug(0, {"policy": "lru"}) == "c00-lru"
+        assert cell_slug(12, {}) == "c12"
+        slug = cell_slug(1, {"attack": "lru state (addr-based)"})
+        assert " " not in slug and "(" not in slug
+
+
+class TestCampaignTraining:
+    """SMOKE-scale RL campaigns: determinism and checkpointed resume."""
+
+    def test_table5_serial_parallel_resume_all_identical(self, tmp_path):
+        legacy = table5.run(SMOKE)
+        serial = repro.run("table5", scale="smoke", out_dir=tmp_path / "serial")
+        assert dump_json(serial.rows) == dump_json(legacy)
+
+        parallel = repro.run("table5", scale="smoke", workers=3,
+                             out_dir=tmp_path / "parallel")
+        assert dump_json(parallel.rows) == dump_json(serial.rows)
+
+        with pytest.raises(CampaignInterrupted):
+            repro.run("table5", scale="smoke", out_dir=tmp_path / "resume",
+                      interrupt_after_updates=3)
+        status = campaign_status(tmp_path / "resume")
+        assert status["status"] == "in-flight"
+        assert status["in_flight"] >= 1
+        resumed = repro.run("table5", scale="smoke", out_dir=tmp_path / "resume")
+        assert dump_json(resumed.rows) == dump_json(serial.rows)
+
+    def test_cell_artifacts_include_training_history(self, tmp_path):
+        out = tmp_path / "c"
+        repro.run("table5", scale="smoke", out_dir=out)
+        histories = list(out.glob("cells/*/run0.history.jsonl"))
+        assert len(histories) == 3
+        record = json.loads(histories[0].read_text().splitlines()[0])
+        assert "update" in record
+        # no lingering checkpoints after completion
+        assert not list(out.glob("cells/*/*.checkpoint.pkl"))
+
+
+class TestCellContext:
+    def test_training_memoization(self, tmp_path):
+        from repro.experiments.common import train_agent
+
+        ctx = CellContext(tmp_path, checkpoint_every=2)
+        first = train_agent("guessing/quickstart", SMOKE, seed=1, ctx=ctx)
+        assert ctx.result_path("train").exists()
+        second = train_agent("guessing/quickstart", SMOKE, seed=1, ctx=ctx)
+        ref = first.to_dict()
+        assert second.to_dict() == ref  # loaded from the memo, not retrained
+        assert ctx.load_policy("train") is not None
+
+    def test_refuses_artifact_reuse_under_different_parameters(self, tmp_path):
+        from repro.experiments.common import BENCH, train_agent
+
+        ctx = CellContext(tmp_path, checkpoint_every=2)
+        train_agent("guessing/quickstart", SMOKE, seed=1, ctx=ctx)
+        with pytest.raises(ValueError, match="different parameters"):
+            train_agent("guessing/quickstart", SMOKE, seed=2, ctx=ctx)
+        with pytest.raises(ValueError, match="different parameters"):
+            train_agent("guessing/quickstart", BENCH, seed=1, ctx=ctx)
+
+    def test_status_counts_memoized_partial_cells_as_in_flight(self, tmp_path):
+        out = tmp_path / "c"
+        repro.run("table10", scale="smoke", out_dir=out)
+        # Simulate a multi-run cell interrupted *between* trainings: the cell
+        # has memoized training results but neither a checkpoint nor its row.
+        cell_dir = next((out / "cells").iterdir())
+        (cell_dir / "result.json").unlink()
+        (cell_dir / "run0.result.json").write_text("{}")
+        status = campaign_status(out)
+        assert status["in_flight"] == 1
+        assert status["status"] == "in-flight"
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in EXPECTED_EXPERIMENTS:
+            assert experiment_id in output
+
+    def test_list_scenarios(self, capsys):
+        assert cli_main(["list", "--scenarios"]) == 0
+        assert "guessing/lru-4way" in capsys.readouterr().out
+
+    def test_run_results_status(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert cli_main(["run", "table1", "--scale", "smoke", "--root", root]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output and "4/4 cells complete" in output
+
+        assert cli_main(["results", "table1", "--scale", "smoke", "--root", root,
+                         "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert dump_json(rows) == dump_json(table1_known_attacks.run("smoke"))
+
+        assert cli_main(["status", "--root", root]) == 0
+        assert "table1-smoke" in capsys.readouterr().out
+
+    def test_results_missing_campaign(self, tmp_path, capsys):
+        assert cli_main(["results", "table1", "--scale", "smoke",
+                         "--root", str(tmp_path)]) == 1
+
+    def test_run_json_format(self, tmp_path, capsys):
+        assert cli_main(["run", "fig4", "--scale", "smoke",
+                         "--root", str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig4"
+        assert len(payload["rows"]) == 3
+
+
+class TestScaleResolution:
+    def test_resolve_scale_accepts_scale_and_name(self):
+        assert resolve_scale("smoke") is SMOKE
+        assert resolve_scale(SMOKE) is SMOKE
+        assert resolve_scale(None).name == "bench"
+
+    def test_resolve_scale_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            resolve_scale("galactic")
