@@ -93,7 +93,11 @@ def measure(scenario: str, workload: str, num_envs: int,
     from repro.rl.vec_env import VecEnv
 
     vec_object = VecEnv(scenario, num_envs=num_envs, backend="object")
-    vec_soa = VecEnv(scenario, num_envs=num_envs, backend="soa")
+    # batching_threshold=1 forces the batched engine even below VecEnv's
+    # normal num_envs>=4 collapse rule (production "soa"/"auto" configs fall
+    # back to the object path there) so the crossover stays measurable.
+    vec_soa = VecEnv(scenario, num_envs=num_envs, backend="soa",
+                     batching_threshold=1)
     if not vec_soa.batched:
         raise RuntimeError(f"scenario {scenario!r} did not engage the batched path")
     actions = _workload_actions(scenario, workload, steps, num_envs,

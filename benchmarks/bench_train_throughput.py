@@ -1,0 +1,207 @@
+"""Training throughput: the compiled/fused RL fast path vs the legacy graph path.
+
+Measures PPO training on ``guessing/lru-4way`` (mlp backbone, default
+``PPOConfig``) in three modes:
+
+* ``graph``        — the legacy path: graph-based ``policy.act()``
+  (``REPRO_DISABLE_COMPILED=1``) and composed per-primitive autodiff kernels
+  (:func:`repro.autodiff.functional.composed_ops`), i.e. the pre-fast-path
+  execution model.  (The persistent rollout buffer and in-place Adam are
+  active in every mode — they are bit-identical infrastructure — so the
+  reported speedup is a conservative lower bound on the improvement over the
+  true pre-PR code.)
+* ``fast``         — the default path: graph-free compiled inference plans
+  plus the fused PPO update kernel, float64 (bit-identical to ``graph``).
+* ``fast-float32`` — the same fast path with the opt-in
+  ``PPOConfig(dtype="float32")`` policy/optimizer mode.
+
+Two metrics per mode:
+
+* **updates/sec** — repeated ``PPOUpdater.update()`` calls over one collected
+  rollout (32 minibatch steps per update at the default config);
+* **env-steps/sec (end-to-end)** — a real ``train()`` loop: rollout
+  collection, updates, and periodic evaluation included.
+
+Appends one entry to the perf trajectory file ``BENCH_train.json`` at the
+repo root, so successive PRs accumulate a training-throughput history.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_train_throughput.py [--smoke]
+        [--scenario guessing/lru-4way] [--updates 5] [--trials 3]
+        [--output BENCH_train.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.autodiff import functional as F
+from repro.rl.ppo import PPOConfig
+from repro.rl.trainer import PPOTrainer
+
+DEFAULT_SCENARIO = "guessing/lru-4way"
+MODES = ("graph", "fast", "fast-float32")
+
+
+@contextlib.contextmanager
+def _mode(mode: str):
+    """Activate one execution mode for the duration of a measurement."""
+    if mode == "graph":
+        previous = os.environ.get("REPRO_DISABLE_COMPILED")
+        os.environ["REPRO_DISABLE_COMPILED"] = "1"
+        try:
+            with F.composed_ops():
+                yield
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_DISABLE_COMPILED", None)
+            else:
+                os.environ["REPRO_DISABLE_COMPILED"] = previous
+    else:
+        yield
+
+
+def _make_trainer(mode: str, scenario: str, seed: int = 0) -> PPOTrainer:
+    dtype = "float32" if mode == "fast-float32" else "float64"
+    return PPOTrainer(scenario, seed=seed, ppo_config=PPOConfig(dtype=dtype))
+
+
+def measure_updates(scenario: str, repeats: int, trials: int) -> dict:
+    """Best-of-``trials`` PPO updates/sec per mode, over one fixed rollout.
+
+    The modes are timed alternately within each trial so transient machine
+    load hits all of them rather than biasing one.
+    """
+    states = {}
+    for mode in MODES:
+        with _mode(mode):
+            trainer = _make_trainer(mode, scenario)
+            observations = trainer.vec_env.reset()
+            buffer, _ = trainer._collect_rollout(observations)
+            trainer.updater.update(buffer)  # warm up workspaces/moments
+            states[mode] = (trainer, buffer)
+    best = {mode: 0.0 for mode in MODES}
+    for _ in range(trials):
+        for mode in MODES:
+            trainer, buffer = states[mode]
+            with _mode(mode):
+                start = time.perf_counter()
+                for _ in range(repeats):
+                    trainer.updater.update(buffer)
+                best[mode] = max(best[mode],
+                                 repeats / (time.perf_counter() - start))
+    return best
+
+
+def measure_end_to_end(scenario: str, max_updates: int, trials: int) -> dict:
+    """Aggregate env-steps/sec of full train() loops (rollout+update+eval).
+
+    Modes alternate within each trial; best of ``trials`` per mode.
+    """
+    best = {mode: 0.0 for mode in MODES}
+    for _ in range(trials):
+        for mode in MODES:
+            with _mode(mode):
+                trainer = _make_trainer(mode, scenario)
+                start = time.perf_counter()
+                # target_accuracy > 1 can never be reached, so the loop always
+                # runs the full update budget however fast the agent learns.
+                trainer.train(max_updates=max_updates, eval_every=5,
+                              target_accuracy=2.0)
+                elapsed = time.perf_counter() - start
+                best[mode] = max(best[mode], trainer.env_steps / elapsed)
+    return best
+
+
+def run(scenario: str = DEFAULT_SCENARIO, repeats: int = 5, trials: int = 3,
+        train_updates: int = 10, train_trials: int = 2) -> dict:
+    config = PPOConfig()
+    update_rates = measure_updates(scenario, repeats, trials)
+    step_rates = measure_end_to_end(scenario, train_updates, train_trials)
+    results = []
+    for mode in MODES:
+        row = {"mode": mode,
+               "dtype": "float32" if mode == "fast-float32" else "float64",
+               "updates_per_second": round(update_rates[mode], 2),
+               "env_steps_per_second": round(step_rates[mode], 1)}
+        results.append(row)
+        print(f"{mode:13s} {row['updates_per_second']:8.2f} updates/s  "
+              f"{row['env_steps_per_second']:9.0f} env-steps/s")
+    baseline = results[0]
+    speedups = {}
+    for row in results[1:]:
+        key = row["mode"].replace("-", "_")
+        speedups[f"updates_{key}_vs_graph"] = round(
+            row["updates_per_second"] / baseline["updates_per_second"], 2)
+        speedups[f"env_steps_{key}_vs_graph"] = round(
+            row["env_steps_per_second"] / baseline["env_steps_per_second"], 2)
+    return {
+        "benchmark": "train_throughput",
+        "scenario": scenario,
+        "backbone": "mlp",
+        "config": {"num_envs": config.num_envs, "horizon": config.horizon,
+                   "minibatch_size": config.minibatch_size,
+                   "update_epochs": config.update_epochs},
+        "update_repeats": repeats,
+        "trials": trials,
+        "train_updates": train_updates,
+        "train_trials": train_trials,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def append_trajectory(entry: dict, output: Path) -> None:
+    """Append one entry to the perf trajectory JSON (a list of entries)."""
+    history = []
+    if output.exists():
+        data = json.loads(output.read_text())
+        history = data.get("entries", [])
+    history.append(entry)
+    output.write_text(json.dumps({"entries": history}, indent=2) + "\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
+    parser.add_argument("--updates", type=int, default=5,
+                        help="PPO updates per updates/sec measurement")
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--train-updates", type=int, default=10,
+                        help="updates per end-to-end train() measurement")
+    parser.add_argument("--train-trials", type=int, default=2)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: fewer updates, one trial")
+    parser.add_argument("--output", default=None,
+                        help="perf trajectory JSON (default: BENCH_train.json "
+                             "at the repo root)")
+    args = parser.parse_args()
+    if args.smoke:
+        args.updates = min(args.updates, 2)
+        args.trials = 1
+        args.train_updates = min(args.train_updates, 4)
+        args.train_trials = 1
+    entry = run(args.scenario, args.updates, args.trials, args.train_updates,
+                args.train_trials)
+    if args.smoke:
+        entry["scale"] = "smoke"
+    output = Path(args.output) if args.output else \
+        Path(__file__).resolve().parent.parent / "BENCH_train.json"
+    append_trajectory(entry, output)
+    speedups = entry["speedups"]
+    print(f"fast vs graph: {speedups['updates_fast_vs_graph']:.2f}x updates/s, "
+          f"{speedups['env_steps_fast_vs_graph']:.2f}x env-steps/s; "
+          f"float32: {speedups['updates_fast_float32_vs_graph']:.2f}x / "
+          f"{speedups['env_steps_fast_float32_vs_graph']:.2f}x -> {output}")
+
+
+if __name__ == "__main__":
+    main()

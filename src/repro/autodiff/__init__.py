@@ -6,7 +6,8 @@ environment, so we provide a small but complete autodiff engine with the same
 semantics (tensors, gradient tape, optimizers, gradient checking).
 """
 
-from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff.tensor import (Tensor, no_grad, is_grad_enabled,
+                                   default_dtype, get_default_dtype)
 from repro.autodiff import functional
 from repro.autodiff.optim import SGD, Adam, Optimizer
 from repro.autodiff.gradcheck import numerical_gradient, check_gradients
@@ -15,6 +16,8 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
     "functional",
     "Optimizer",
     "SGD",

@@ -1,4 +1,12 @@
-"""Gradient-descent optimizers for :class:`repro.autodiff.Tensor` parameters."""
+"""Gradient-descent optimizers for :class:`repro.autodiff.Tensor` parameters.
+
+The hot path is allocation-free: ``zero_grad`` retires each parameter's
+gradient array into the tensor's reuse buffer (the next backward pass writes
+into it instead of allocating), and ``Adam.step`` / ``clip_grad_norm`` update
+moments and parameters with in-place numpy ufuncs writing into per-parameter
+scratch workspaces.  All in-place rewrites are bit-identical to the naive
+out-of-place formulas (see ``tests/test_compiled_policy.py``).
+"""
 
 from __future__ import annotations
 
@@ -16,10 +24,28 @@ class Optimizer:
         self.parameters: List[Tensor] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
+        self._work: dict = {}
+
+    def _workspace(self, index: int, slot: int = 0) -> np.ndarray:
+        """Per-parameter scratch array (lazily allocated, shape of the param).
+
+        ``slot`` distinguishes independent scratch arrays an optimizer needs
+        simultaneously for the same parameter (Adam uses two).
+        """
+        key = (slot, index)
+        scratch = self._work.get(key)
+        if scratch is None:
+            scratch = np.empty_like(self.parameters[index].data)
+            self._work[key] = scratch
+        return scratch
 
     def zero_grad(self) -> None:
         for parameter in self.parameters:
-            parameter.grad = None
+            grad = parameter.grad
+            if grad is not None:
+                # Retire the array for reuse by the next backward pass.
+                parameter._grad_buffer = grad
+                parameter.grad = None
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -37,9 +63,12 @@ class Optimizer:
     def clip_grad_norm(self, max_norm: float) -> float:
         """Clip gradients in place to a global L2 norm; return the pre-clip norm."""
         total = 0.0
-        for parameter in self.parameters:
-            if parameter.grad is not None:
-                total += float(np.sum(parameter.grad ** 2))
+        for index, parameter in enumerate(self.parameters):
+            grad = parameter.grad
+            if grad is not None:
+                squared = self._workspace(index)
+                np.multiply(grad, grad, out=squared)
+                total += float(np.sum(squared))
         norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0.0:
             scale = max_norm / norm
@@ -87,7 +116,19 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimizer (Kingma & Ba, 2015)."""
+    """Adam optimizer (Kingma & Ba, 2015).
+
+    ``step()`` is fully in-place: moments are updated with ``out=`` ufuncs and
+    the parameter delta is assembled in two scratch arrays, so a step performs
+    no allocations after the first call.  The arithmetic matches the textbook
+    out-of-place update bit for bit:
+
+    .. code-block:: python
+
+        m = beta1 * m + (1 - beta1) * grad
+        v = beta2 * v + (1 - beta2) * grad ** 2
+        param -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
+    """
 
     def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-3,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
@@ -103,19 +144,37 @@ class Adam(Optimizer):
 
     def step(self) -> None:
         self._step += 1
+        # Bias-correction scalars are hoisted out of the parameter loop.
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
+        one_minus_beta1 = 1.0 - self.beta1
+        one_minus_beta2 = 1.0 - self.beta2
         for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
             grad = parameter.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
-            self._m[index] = self.beta1 * self._m[index] + (1.0 - self.beta1) * grad
-            self._v[index] = self.beta2 * self._v[index] + (1.0 - self.beta2) * grad ** 2
-            m_hat = self._m[index] / bias1
-            v_hat = self._v[index] / bias2
-            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            m, v = self._m[index], self._v[index]
+            scratch = self._workspace(index)
+            scratch2 = self._workspace(index, slot=1)
+            # m = beta1 * m + (1 - beta1) * grad
+            m *= self.beta1
+            np.multiply(grad, one_minus_beta1, out=scratch)
+            m += scratch
+            # v = beta2 * v + (1 - beta2) * grad**2
+            v *= self.beta2
+            np.multiply(grad, grad, out=scratch)
+            scratch *= one_minus_beta2
+            v += scratch
+            # param -= (lr * (m / bias1)) / (sqrt(v / bias2) + eps)
+            np.divide(m, bias1, out=scratch)
+            scratch *= self.lr
+            np.divide(v, bias2, out=scratch2)
+            np.sqrt(scratch2, out=scratch2)
+            scratch2 += self.eps
+            scratch /= scratch2
+            parameter.data -= scratch
 
     def state_dict(self) -> dict:
         return {"step": self._step,
@@ -127,5 +186,7 @@ class Adam(Optimizer):
             raise ValueError(f"moment count mismatch: {len(state['m'])}/{len(state['v'])} vs "
                              f"{len(self.parameters)} parameters")
         self._step = int(state["step"])
-        self._m = [np.array(m, dtype=np.float64) for m in state["m"]]
-        self._v = [np.array(v, dtype=np.float64) for v in state["v"]]
+        self._m = [np.array(m, dtype=self.parameters[index].data.dtype)
+                   for index, m in enumerate(state["m"])]
+        self._v = [np.array(v, dtype=self.parameters[index].data.dtype)
+                   for index, v in enumerate(state["v"])]

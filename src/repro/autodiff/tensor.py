@@ -18,6 +18,34 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
 
+# Default dtype for tensors created from python scalars/sequences and for
+# parameter initialization.  float64 keeps bit-parity with the reference
+# graphs; the opt-in float32 policy mode (PPOConfig.dtype) builds its modules
+# under ``default_dtype(np.float32)``.
+_DEFAULT_DTYPE = np.float64
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are created with (float64 unless overridden)."""
+    return _DEFAULT_DTYPE
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Temporarily change the default tensor dtype (e.g. ``np.float32``)."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = dtype.type
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
+
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
@@ -51,14 +79,18 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
-    array = np.asarray(value, dtype=np.float64)
-    return array
+    # Floating arrays keep their precision (so float32 policies stay float32);
+    # everything else (scalars, int arrays, lists) lands on the default dtype.
+    if isinstance(value, np.ndarray) and value.dtype in _FLOAT_DTYPES:
+        return value
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 class Tensor:
     """A numpy-backed tensor that records a reverse-mode autodiff graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name",
+                 "_grad_buffer")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
@@ -67,6 +99,9 @@ class Tensor:
         self._backward: Optional[Callable[[], None]] = None
         self._parents: tuple = ()
         self.name = name
+        # Retired gradient array, reused by the next backward pass instead of
+        # a fresh allocation (stashed by ``Optimizer.zero_grad``).
+        self._grad_buffer: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ utils
     @property
@@ -107,6 +142,16 @@ class Tensor:
     def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
         return value if isinstance(value, Tensor) else Tensor(value)
 
+    def _coerce(self, value: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Wrap ``value`` as a Tensor matching this tensor's dtype.
+
+        Binary ops use this so python scalars don't silently up-cast a
+        float32 graph to float64.
+        """
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(np.asarray(value, dtype=self.data.dtype))
+
     def _make_child(self, data: np.ndarray, parents: Iterable["Tensor"],
                     backward: Callable[["Tensor"], None]) -> "Tensor":
         parents = tuple(parents)
@@ -120,11 +165,19 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            # Reuse the retired gradient buffer (stashed by Optimizer.zero_grad)
+            # instead of allocating a fresh array every backward pass.
+            buffer = self._grad_buffer
+            if buffer is not None and buffer.shape == grad.shape:
+                np.copyto(buffer, grad)
+                self.grad = buffer
+                self._grad_buffer = None
+            else:
+                self.grad = grad.copy()
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
@@ -132,7 +185,7 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without a gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
-        self._accumulate(np.asarray(grad, dtype=np.float64))
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -156,7 +209,7 @@ class Tensor:
 
     # ------------------------------------------------------------- arithmetic
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad)
@@ -173,13 +226,13 @@ class Tensor:
         return self._make_child(-self.data, (self,), backward)
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        return self + (-self._ensure(other))
+        return self + (-self._coerce(other))
 
     def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        return self._ensure(other) + (-self)
+        return self._coerce(other) + (-self)
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * other.data)
@@ -190,7 +243,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad / other.data)
@@ -199,7 +252,7 @@ class Tensor:
         return self._make_child(self.data / other.data, (self, other), backward)
 
     def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        return self._ensure(other) / self
+        return self._coerce(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -211,7 +264,7 @@ class Tensor:
         return self._make_child(np.power(self.data, exponent), (self,), backward)
 
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             grad = out.grad
@@ -257,7 +310,7 @@ class Tensor:
         return self._make_child(value, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
+        mask = (self.data > 0).astype(self.data.dtype)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * mask)
@@ -284,7 +337,7 @@ class Tensor:
         return self._make_child(np.abs(self.data), (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+        mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * mask)
@@ -292,8 +345,8 @@ class Tensor:
         return self._make_child(np.clip(self.data, low, high), (self,), backward)
 
     def maximum(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
-        take_self = (self.data >= other.data).astype(np.float64)
+        other = self._coerce(other)
+        take_self = (self.data >= other.data).astype(self.data.dtype)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * take_self)
@@ -302,8 +355,8 @@ class Tensor:
         return self._make_child(np.maximum(self.data, other.data), (self, other), backward)
 
     def minimum(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
-        take_self = (self.data <= other.data).astype(np.float64)
+        other = self._coerce(other)
+        take_self = (self.data <= other.data).astype(self.data.dtype)
 
         def backward(out: Tensor) -> None:
             self._accumulate(out.grad * take_self)
@@ -337,7 +390,7 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         value = self.data.max(axis=axis, keepdims=True)
-        mask = (self.data == value).astype(np.float64)
+        mask = (self.data == value).astype(self.data.dtype)
         mask = mask / mask.sum(axis=axis, keepdims=True)
         result = value if keepdims or axis is None else np.squeeze(value, axis=axis)
         if axis is None and not keepdims:

@@ -6,13 +6,19 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.autodiff import functional as F
 from repro.autodiff.tensor import Tensor
 from repro.nn.init import orthogonal
 from repro.nn.module import Module, Parameter
 
 
 class Linear(Module):
-    """Fully-connected layer ``y = x W + b``."""
+    """Fully-connected layer ``y = x W + b``.
+
+    The forward pass goes through the fused :func:`repro.autodiff.functional.linear`
+    kernel — one graph node instead of a matmul + broadcast-add chain, with
+    bit-identical outputs and gradients.
+    """
 
     def __init__(self, in_features: int, out_features: int, gain: float = np.sqrt(2.0),
                  rng: Optional[np.random.Generator] = None):
@@ -24,7 +30,7 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features), name="bias")
 
     def forward(self, inputs: Tensor) -> Tensor:
-        return inputs @ self.weight + self.bias
+        return F.linear(inputs, self.weight, self.bias)
 
 
 class ReLU(Module):

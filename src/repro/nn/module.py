@@ -6,13 +6,19 @@ from typing import Dict, Iterator, List
 
 import numpy as np
 
-from repro.autodiff.tensor import Tensor
+from repro.autodiff.tensor import Tensor, get_default_dtype
 
 
 class Parameter(Tensor):
-    """A tensor that is registered as a trainable parameter of a Module."""
+    """A tensor that is registered as a trainable parameter of a Module.
+
+    Parameters adopt the ambient default dtype (see
+    :func:`repro.autodiff.default_dtype`), so a module tree built under a
+    ``default_dtype(np.float32)`` context is a float32 network end to end.
+    """
 
     def __init__(self, data, name: str = ""):
+        data = np.asarray(data, dtype=get_default_dtype())
         super().__init__(data, requires_grad=True, name=name)
 
 

@@ -1,9 +1,18 @@
-"""Rollout storage for on-policy PPO training."""
+"""Rollout storage for on-policy PPO training.
+
+The buffer is designed to be *persistent*: the trainer allocates it once and
+calls :meth:`RolloutBuffer.reset` before every rollout, so the storage arrays,
+the advantage-normalization buffer, and the minibatch scratch arrays are all
+reused across PPO updates instead of reallocated.  Minibatches are gathered
+with ``np.take(..., out=scratch)`` into one persistent scratch copy per batch
+size — identical values to fancy indexing, none of its per-minibatch
+allocations.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -12,7 +21,11 @@ from repro.rl.gae import compute_gae
 
 @dataclass
 class RolloutBatch:
-    """One minibatch of flattened transitions for a PPO update."""
+    """One minibatch of flattened transitions for a PPO update.
+
+    The arrays are views into the buffer's reusable scratch storage — valid
+    until the next minibatch is yielded; copy them to keep them longer.
+    """
 
     observations: np.ndarray
     actions: np.ndarray
@@ -29,11 +42,8 @@ class RolloutBuffer:
         self.horizon = horizon
         self.num_envs = num_envs
         self.observation_size = observation_size
-        self.reset()
-
-    def reset(self) -> None:
-        shape = (self.horizon, self.num_envs)
-        self.observations = np.zeros(shape + (self.observation_size,), dtype=np.float64)
+        shape = (horizon, num_envs)
+        self.observations = np.zeros(shape + (observation_size,), dtype=np.float64)
         self.actions = np.zeros(shape, dtype=np.int64)
         self.rewards = np.zeros(shape, dtype=np.float64)
         self.dones = np.zeros(shape, dtype=np.float64)
@@ -41,6 +51,21 @@ class RolloutBuffer:
         self.log_probs = np.zeros(shape, dtype=np.float64)
         self.advantages: Optional[np.ndarray] = None
         self.returns: Optional[np.ndarray] = None
+        self.position = 0
+        self._norm_advantages = np.empty(horizon * num_envs, dtype=np.float64)
+        # Minibatch scratch arrays, keyed by batch size (the final short
+        # minibatch slices the full-size scratch).
+        self._scratch: Dict[int, tuple] = {}
+
+    def reset(self) -> None:
+        """Rewind the buffer for a fresh rollout (storage is reused).
+
+        Stale rows are not zeroed: ``finalize`` refuses to run until every
+        row has been overwritten by ``add``, so they are never observable
+        through the minibatch path.
+        """
+        self.advantages = None
+        self.returns = None
         self.position = 0
 
     @property
@@ -67,10 +92,28 @@ class RolloutBuffer:
         self.advantages, self.returns = compute_gae(
             self.rewards, self.values, self.dones, last_values, gamma=gamma, lam=lam)
 
+    def _minibatch_scratch(self, batch_size: int) -> tuple:
+        scratch = self._scratch.get(batch_size)
+        if scratch is None:
+            scratch = (
+                np.empty((batch_size, self.observation_size), dtype=np.float64),
+                np.empty(batch_size, dtype=np.int64),
+                np.empty(batch_size, dtype=np.float64),
+                np.empty(batch_size, dtype=np.float64),
+                np.empty(batch_size, dtype=np.float64),
+                np.empty(batch_size, dtype=np.float64),
+            )
+            self._scratch[batch_size] = scratch
+        return scratch
+
     def iter_minibatches(self, batch_size: int,
                          rng: Optional[np.random.Generator] = None,
                          normalize_advantages: bool = True) -> Iterator[RolloutBatch]:
-        """Yield shuffled minibatches of flattened transitions."""
+        """Yield shuffled minibatches of flattened transitions.
+
+        Each minibatch is gathered into a persistent scratch copy; the yielded
+        views are overwritten when the next minibatch is produced.
+        """
         if self.advantages is None or self.returns is None:
             raise RuntimeError("finalize() must be called before iterating minibatches")
         rng = rng or np.random.default_rng()
@@ -82,10 +125,21 @@ class RolloutBuffer:
         returns = self.returns.reshape(total)
         values = self.values.reshape(total)
         if normalize_advantages:
-            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+            normalized = self._norm_advantages
+            np.subtract(advantages, advantages.mean(), out=normalized)
+            normalized /= (advantages.std() + 1e-8)
+            advantages = normalized
         order = rng.permutation(total)
+        scratch = self._minibatch_scratch(min(batch_size, total))
+        sources = (observations, actions, log_probs, advantages, returns, values)
         for start in range(0, total, batch_size):
             index = order[start:start + batch_size]
-            yield RolloutBatch(observations=observations[index], actions=actions[index],
-                               old_log_probs=log_probs[index], advantages=advantages[index],
-                               returns=returns[index], old_values=values[index])
+            count = index.shape[0]
+            gathered = []
+            for source, target in zip(sources, scratch):
+                view = target[:count]
+                np.take(source, index, axis=0, out=view)
+                gathered.append(view)
+            yield RolloutBatch(observations=gathered[0], actions=gathered[1],
+                               old_log_probs=gathered[2], advantages=gathered[3],
+                               returns=gathered[4], old_values=gathered[5])

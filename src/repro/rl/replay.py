@@ -54,18 +54,60 @@ class AttackExtraction:
         )
 
 
-def _run_episode(env, policy: ActorCriticPolicy, secret, max_steps: int,
+class _EpisodeRunner:
+    """Replays a policy on one env through the compiled batch-act path.
+
+    Instead of handing ``policy.act`` a fresh 1-D observation every step
+    (which forces a per-step ``atleast_2d`` copy and a shape-(1, n) workspace
+    rebuild), the runner keeps one persistent ``(1, observation_size)``
+    batch row.  Envs that support the allocation-free ``reset_into`` /
+    ``step_into`` protocol encode their observation directly into that row;
+    others fall back to copying the returned observation in.
+    """
+
+    def __init__(self, env, policy: ActorCriticPolicy):
+        self.env = env
+        self.policy = policy
+        size = getattr(env, "observation_size", None)
+        self._into = bool(getattr(env, "supports_step_into", False)) and size is not None
+        self.observations = np.zeros((1, int(size) if size is not None else 1))
+        self._row = self.observations[0]
+
+    def reset(self, secret) -> None:
+        if self._into:
+            self.env.reset_into(self._row, secret=secret)
+        else:
+            observation = np.asarray(self.env.reset(secret=secret))
+            if self.observations.shape[1] != observation.shape[-1]:
+                self.observations = np.zeros((1, observation.shape[-1]))
+                self._row = self.observations[0]
+            self._row[:] = observation
+
+    def step(self, action_index: int) -> tuple:
+        if self._into:
+            return self.env.step_into(action_index, self._row)
+        observation, reward, done, info = self.env.step(action_index)
+        self._row[:] = observation
+        return reward, done, info
+
+    def act(self, rng: np.random.Generator, deterministic: bool) -> int:
+        output = self.policy.act(self.observations, rng=rng,
+                                 deterministic=deterministic)
+        return int(output.actions[0])
+
+
+def _run_episode(runner: _EpisodeRunner, secret, max_steps: int,
                  deterministic: bool, rng: np.random.Generator) -> tuple:
-    observation = env.reset(secret=secret)
+    runner.reset(secret)
+    env = runner.env
     labels: List[str] = []
     correct = False
     guessed = False
     total_reward = 0.0
     for _ in range(max_steps):
-        output = policy.act(observation, rng=rng, deterministic=deterministic)
-        action_index = int(output.actions[0])
+        action_index = runner.act(rng, deterministic)
         labels.append(str(env.actions.decode(action_index)))
-        observation, reward, done, info = env.step(action_index)
+        reward, done, info = runner.step(action_index)
         total_reward += reward
         if done:
             correct = bool(info.get("correct", False))
@@ -79,13 +121,14 @@ def evaluate_policy(env, policy: ActorCriticPolicy, episodes: int = 50,
     """Accuracy, guess rate, episode length, and reward of a policy on an env."""
     rng = np.random.default_rng(seed)
     max_steps = env.max_steps + 1
+    runner = _EpisodeRunner(env, policy)
     correct_count = 0
     guess_count = 0
     lengths: List[int] = []
     rewards: List[float] = []
     for _ in range(episodes):
         labels, correct, guessed, total_reward = _run_episode(
-            env, policy, "random", max_steps, deterministic, rng)
+            runner, "random", max_steps, deterministic, rng)
         correct_count += int(correct)
         guess_count += int(guessed)
         lengths.append(len(labels))
@@ -107,9 +150,10 @@ def extract_attack_sequence(env, policy: ActorCriticPolicy, deterministic: bool 
         secrets.append(None)
     extraction = AttackExtraction()
     max_steps = env.max_steps + 1
+    runner = _EpisodeRunner(env, policy)
     for secret in secrets:
         labels, correct, _guessed, _reward = _run_episode(
-            env, policy, secret, max_steps, deterministic, rng)
+            runner, secret, max_steps, deterministic, rng)
         extraction.sequences[secret] = labels
         extraction.correct[secret] = correct
     if extraction.correct:

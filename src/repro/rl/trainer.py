@@ -137,8 +137,13 @@ class PPOTrainer:
                                         self.vec_env.num_actions,
                                         hidden_sizes=hidden_sizes, backbone=backbone,
                                         window_shape=window_shape,
-                                        rng=np.random.default_rng(seed))
+                                        rng=np.random.default_rng(seed),
+                                        dtype=self.config.dtype)
         self.updater = PPOUpdater(self.policy, self.config, rng=self.rng)
+        # One rollout buffer for the trainer's lifetime: storage arrays and
+        # minibatch scratch are reused across every update.
+        self._rollout_buffer = RolloutBuffer(self.config.horizon, self.config.num_envs,
+                                             self.vec_env.observation_size)
         self.env_steps = 0
         self.updates_done = 0
         self.history = TrainingHistory()
@@ -171,7 +176,8 @@ class PPOTrainer:
     # ---------------------------------------------------------------- rollout
     def _collect_rollout(self, observations: np.ndarray) -> tuple:
         config = self.config
-        buffer = RolloutBuffer(config.horizon, config.num_envs, self.vec_env.observation_size)
+        buffer = self._rollout_buffer
+        buffer.reset()
         for _ in range(config.horizon):
             output = self.policy.act(observations, rng=self.rng)
             next_observations, rewards, dones, infos = self.vec_env.step(output.actions)
@@ -324,9 +330,13 @@ class PPOTrainer:
                                            hidden_sizes=trainer.hidden_sizes,
                                            backbone=trainer.backbone,
                                            window_shape=window_shape,
-                                           rng=np.random.default_rng(trainer.seed))
+                                           rng=np.random.default_rng(trainer.seed),
+                                           dtype=trainer.config.dtype)
         trainer.policy.load_state_dict(payload["policy_state"])
         trainer.updater = PPOUpdater(trainer.policy, trainer.config, rng=trainer.rng)
+        trainer._rollout_buffer = RolloutBuffer(trainer.config.horizon,
+                                                trainer.config.num_envs,
+                                                trainer.vec_env.observation_size)
         trainer.updater.load_state_dict(payload["updater_state"])
         trainer.env_steps = int(payload["env_steps"])
         trainer.updates_done = int(payload["updates_done"])

@@ -32,9 +32,15 @@ episode just ended.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Union
 
 import numpy as np
+
+# Below this many envs the per-op overhead of the batched numpy kernels loses
+# to the per-env object path (BENCH_throughput.json: 0.54x at num_envs=1), so
+# the SoA collapse only engages at or above it.
+BATCHING_THRESHOLD = 4
 
 # Shared placeholder for steps with nothing to report; treat as read-only.
 _EMPTY_INFO: Dict = {}
@@ -44,7 +50,8 @@ class VecEnv:
     """Synchronous vectorized environment with auto-reset and reusable buffers."""
 
     def __init__(self, env_source: Union[Callable[[int], object], str, object],
-                 num_envs: int, **scenario_overrides):
+                 num_envs: int, batching_threshold: int = BATCHING_THRESHOLD,
+                 **scenario_overrides):
         if num_envs < 1:
             raise ValueError("num_envs must be >= 1")
         from repro.scenarios import as_env_factory
@@ -61,15 +68,31 @@ class VecEnv:
 
             if spec_supports_batching(spec):
                 config = spec.build_config()
-                # Below ~4 envs the per-op numpy overhead of the batched
-                # kernels loses to the object path; engage only where it
-                # wins, unless the scenario explicitly asks for the SoA
-                # backend.
-                if num_envs >= 4 or config.backend == "soa":
+                # Below the threshold the per-op numpy overhead of the
+                # batched kernels loses to the object path, so the collapse
+                # only engages where it wins.  An explicit backend="soa"
+                # below the threshold falls back to the (bit-identical)
+                # object path with a warning; pass batching_threshold=1 to
+                # force batching anyway (benchmarks do).
+                if num_envs >= batching_threshold:
                     # factory(index) builds spec.build(seed=index); the
                     # batched game reproduces exactly those N envs.
                     self._batched = BatchedGuessingGame(config, num_envs,
                                                         seeds=range(num_envs))
+                elif config.backend == "soa":
+                    warnings.warn(
+                        f"backend='soa' with num_envs={num_envs} is below the "
+                        f"batching threshold ({batching_threshold}); using the "
+                        "bit-identical object backend instead (the scalar SoA "
+                        "path is slower than the object model)",
+                        RuntimeWarning, stacklevel=2)
+                    from repro.scenarios.registry import SpecFactory
+
+                    # Rebuild with only the backend swapped, keeping any
+                    # runtime payload (e.g. a detector) the factory carries.
+                    self._env_factory = env_factory = SpecFactory(
+                        spec.with_overrides(backend="object"),
+                        getattr(env_factory, "runtime", None))
         if self._batched is not None:
             self.observation_size = self._batched.observation_size
             self.num_actions = self._batched.num_actions

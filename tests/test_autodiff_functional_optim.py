@@ -132,3 +132,41 @@ class TestOptimizers:
         optimizer = Adam([parameter], lr=0.1)
         optimizer.step()
         assert np.allclose(parameter.numpy(), [1.0])
+
+
+class TestFusedKernels:
+    """The fused single-node kernels agree with the composed primitive chains."""
+
+    def test_composed_ops_context_toggles_flag(self):
+        assert F.FUSED
+        with F.composed_ops():
+            assert not F.FUSED
+        assert F.FUSED
+
+    def test_log_softmax_forward_matches_composed(self):
+        logits = np.random.default_rng(0).standard_normal((6, 5)) * 4
+        fused = F.log_softmax(Tensor(logits)).numpy()
+        with F.composed_ops():
+            composed = F.log_softmax(Tensor(logits)).numpy()
+        assert np.array_equal(fused, composed)
+
+    def test_entropy_gradcheck(self):
+        logits = Tensor(np.random.default_rng(1).standard_normal((4, 5)),
+                        requires_grad=True)
+        assert check_gradients(
+            lambda: F.categorical_entropy(logits).mean(), [logits])
+
+    def test_log_softmax_gradcheck_via_cross_entropy(self):
+        logits = Tensor(np.random.default_rng(2).standard_normal((5, 4)),
+                        requires_grad=True)
+        targets = np.array([0, 3, 1, 2, 2])
+        assert check_gradients(lambda: F.cross_entropy(logits, targets), [logits])
+
+    def test_fused_linear_gradcheck(self):
+        rng = np.random.default_rng(3)
+        weight = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        bias = Tensor(rng.standard_normal(3), requires_grad=True)
+        inputs = Tensor(rng.standard_normal((5, 4)), requires_grad=True)
+        assert check_gradients(
+            lambda: (F.linear(inputs, weight, bias) ** 2).sum(),
+            [inputs, weight, bias])
