@@ -16,6 +16,10 @@ under two workloads —
   agent plays): fill accesses, victim trigger, probe accesses, final guess at
   the episode-length limit.
 
+A defended-scenario row (default ``defended/lru-4way-keyed-remap``, which
+exercises the keyed-remap SoA kernel) is measured at the headline env count so
+defense overhead lands in the trajectory alongside the plain-cache rows.
+
 Appends one entry to the perf trajectory file ``BENCH_throughput.json`` at the
 repo root, so successive PRs accumulate a throughput history.
 
@@ -23,6 +27,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_env_throughput.py [--smoke]
         [--scenario guessing/lru-4way] [--num-envs 1 8 32]
+        [--defended-scenario defended/lru-4way-keyed-remap]
         [--steps 4000] [--trials 3] [--output BENCH_throughput.json]
 """
 
@@ -39,6 +44,7 @@ import repro
 from repro.env.actions import ActionKind
 
 DEFAULT_SCENARIO = "guessing/lru-4way"
+DEFAULT_DEFENDED_SCENARIO = "defended/lru-4way-keyed-remap"
 DEFAULT_NUM_ENVS = (1, 8, 32, 128)
 HEADLINE_NUM_ENVS = 32
 
@@ -110,35 +116,49 @@ def measure(scenario: str, workload: str, num_envs: int,
 
 
 def run(scenario: str = DEFAULT_SCENARIO, num_envs=DEFAULT_NUM_ENVS,
-        steps: int = 4000, trials: int = 3) -> dict:
+        steps: int = 4000, trials: int = 3,
+        defended_scenario: str = DEFAULT_DEFENDED_SCENARIO) -> dict:
     """Measure all backend/workload/num_envs combinations; return the entry."""
-    results = []
-    for workload in ("random", "replay"):
-        for count in num_envs:
-            object_rate, soa_rate = measure(scenario, workload, count,
-                                            steps, trials)
-            row = {"workload": workload, "num_envs": count,
-                   "object_steps_per_second": round(object_rate, 1),
-                   "soa_steps_per_second": round(soa_rate, 1),
-                   "speedup": round(soa_rate / object_rate, 2)}
-            results.append(row)
-            print(f"{workload:6s} num_envs={count:3d}  "
-                  f"object={row['object_steps_per_second']:10.0f}/s  "
-                  f"soa={row['soa_steps_per_second']:10.0f}/s  "
-                  f"speedup={row['speedup']:.2f}x")
+    def measure_rows(target_scenario, counts):
+        rows = []
+        for workload in ("random", "replay"):
+            for count in counts:
+                object_rate, soa_rate = measure(target_scenario, workload, count,
+                                                steps, trials)
+                row = {"scenario": target_scenario, "workload": workload,
+                       "num_envs": count,
+                       "object_steps_per_second": round(object_rate, 1),
+                       "soa_steps_per_second": round(soa_rate, 1),
+                       "speedup": round(soa_rate / object_rate, 2)}
+                rows.append(row)
+                print(f"{target_scenario:30s} {workload:6s} num_envs={count:3d}  "
+                      f"object={row['object_steps_per_second']:10.0f}/s  "
+                      f"soa={row['soa_steps_per_second']:10.0f}/s  "
+                      f"speedup={row['speedup']:.2f}x")
+        return rows
+
+    results = measure_rows(scenario, num_envs)
+    # Defense overhead row: the keyed-remap SoA kernel at the headline width.
+    defended_results = (measure_rows(defended_scenario, (HEADLINE_NUM_ENVS,))
+                        if defended_scenario else [])
     headline = [r for r in results
                 if r["num_envs"] == HEADLINE_NUM_ENVS] or results[-1:]
     best = max(headline, key=lambda r: r["speedup"])
-    return {
+    entry = {
         "benchmark": "env_throughput",
         "scenario": scenario,
         "steps_per_measurement": steps,
         "trials": trials,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "results": results,
+        "results": results + defended_results,
         "headline_speedup": best["speedup"],
         "headline_num_envs": best["num_envs"],
     }
+    if defended_results:
+        entry["defended_scenario"] = defended_scenario
+        entry["defended_headline_speedup"] = max(r["speedup"]
+                                                 for r in defended_results)
+    return entry
 
 
 def append_trajectory(entry: dict, output: Path) -> None:
@@ -155,6 +175,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
+    parser.add_argument("--defended-scenario", default=DEFAULT_DEFENDED_SCENARIO,
+                        help="defended scenario measured at the headline env "
+                             "count (empty string disables)")
     parser.add_argument("--num-envs", type=int, nargs="+",
                         default=list(DEFAULT_NUM_ENVS))
     parser.add_argument("--steps", type=int, default=4000)
@@ -169,7 +192,8 @@ def main() -> None:
         args.steps = min(args.steps, 500)
         args.trials = 1
         args.num_envs = [HEADLINE_NUM_ENVS]
-    entry = run(args.scenario, tuple(args.num_envs), args.steps, args.trials)
+    entry = run(args.scenario, tuple(args.num_envs), args.steps, args.trials,
+                defended_scenario=args.defended_scenario)
     if args.smoke:
         entry["scale"] = "smoke"
     output = Path(args.output) if args.output else \

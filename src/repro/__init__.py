@@ -13,6 +13,9 @@ Learning for Automated Exploration of Cache-Timing Attacks" (HPCA 2023):
   StealthyStreamline, covert channels, and a Spectre-v1 demo;
 * :mod:`repro.hardware` — blackbox machine models replacing real processors;
 * :mod:`repro.scenarios` — the scenario registry behind :func:`repro.make`;
+* :mod:`repro.defenses` — pluggable secure-cache defenses (PL cache, keyed
+  remapping, skewed associativity, way partitioning, random fill) applied to
+  any scenario via ``repro.make(scenario, defense=...)``;
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
 
 Environments are constructed declaratively through the scenario registry::
@@ -34,6 +37,12 @@ and whole training campaigns through the experiment registry (see
 __version__ = "1.2.0"
 
 from repro.cache import Cache, CacheConfig
+from repro.defenses import (
+    DefenseSpec,
+    get_defense,
+    list_defenses,
+    register_defense,
+)
 from repro.env import CacheGuessingGameEnv, EnvConfig, RewardConfig
 from repro.rl import PPOConfig, PPOTrainer
 from repro.scenarios import (
@@ -59,19 +68,23 @@ __all__ = [
     "CacheConfig",
     "CacheGuessingGameEnv",
     "CampaignResult",
+    "DefenseSpec",
     "EnvConfig",
     "ExperimentSpec",
     "RewardConfig",
     "PPOConfig",
     "PPOTrainer",
     "ScenarioSpec",
+    "get_defense",
     "get_experiment",
     "get_spec",
+    "list_defenses",
     "list_experiments",
     "list_scenarios",
     "make",
     "make_factory",
     "register",
+    "register_defense",
     "register_experiment",
     "run",
 ]

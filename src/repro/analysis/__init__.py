@@ -2,6 +2,7 @@
 
 from repro.analysis.classifier import classify_sequence, classify_labels
 from repro.analysis.autocorrelogram import event_train_autocorrelogram
+from repro.analysis.defenses import guess_channel_bits, pivot_matrix
 from repro.analysis.metrics import bit_rate, guess_accuracy, hamming_distance
 from repro.analysis.search_space import (
     prime_probe_search_space,
@@ -14,7 +15,9 @@ __all__ = [
     "event_train_autocorrelogram",
     "bit_rate",
     "guess_accuracy",
+    "guess_channel_bits",
     "hamming_distance",
+    "pivot_matrix",
     "prime_probe_search_space",
     "brute_force_steps_estimate",
 ]

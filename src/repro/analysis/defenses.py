@@ -1,0 +1,70 @@
+"""Defense-evaluation metrics and matrix rendering.
+
+Helpers behind the ``defense_matrix`` experiment: an information-theoretic
+leakage estimate per guessing episode, and a scenario x defense pivot of the
+campaign rows (the attacker-vs-defense evaluation matrix).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def guess_channel_bits(accuracy: float, num_secrets: int) -> float:
+    """Leaked bits per guessing episode, from the attacker's guess accuracy.
+
+    Models one episode as a symmetric channel over ``num_secrets`` equiprobable
+    secrets and applies Fano's bound: with error rate ``e = 1 - accuracy``,
+
+        I >= log2(M) - H(e) - e * log2(M - 1)
+
+    clamped to ``[0, log2(M)]``.  At-or-below-chance accuracy (``<= 1/M``,
+    including an attacker that never guesses) reports 0 bits; a perfect
+    attacker leaks the full ``log2(M)`` bits per episode.
+    """
+    M = int(num_secrets)
+    if M < 2:
+        return 0.0
+    if accuracy <= 1.0 / M:
+        return 0.0
+    p = min(max(float(accuracy), 1e-12), 1.0 - 1e-12)
+    error = 1.0 - p
+    entropy = -(p * math.log2(p) + error * math.log2(error))
+    info = math.log2(M) - entropy - (error * math.log2(M - 1) if M > 2 else 0.0)
+    return max(0.0, min(info, math.log2(M)))
+
+
+def pivot_matrix(rows: Sequence[Dict], value: str = "accuracy",
+                 scenario_key: str = "scenario",
+                 defense_key: str = "defense") -> str:
+    """Render campaign rows as a scenario-by-defense text matrix.
+
+    ``rows`` are ``defense_matrix`` result rows (one per cell); ``value``
+    selects the metric to pivot.  Missing cells render as ``-``.
+    """
+    scenarios: List[str] = []
+    defenses: List[str] = []
+    cells: Dict[tuple, str] = {}
+    for row in rows:
+        scenario = str(row.get(scenario_key, "?"))
+        defense = str(row.get(defense_key, "?"))
+        if scenario not in scenarios:
+            scenarios.append(scenario)
+        if defense not in defenses:
+            defenses.append(defense)
+        cell = row.get(value)
+        cells[(scenario, defense)] = (f"{cell:.3f}" if isinstance(cell, float)
+                                      else str(cell) if cell is not None else "-")
+    header = [f"{value} \\ defense"] + defenses
+    table = [[scenario] + [cells.get((scenario, defense), "-")
+                           for defense in defenses]
+             for scenario in scenarios]
+    widths = [max(len(header[i]), *(len(r[i]) for r in table)) if table
+              else len(header[i]) for i in range(len(header))]
+    lines = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+             "  ".join("-" * widths[i] for i in range(len(header)))]
+    for row_cells in table:
+        lines.append("  ".join(row_cells[i].ljust(widths[i])
+                               for i in range(len(header))))
+    return "\n".join(lines)

@@ -23,8 +23,21 @@ from repro.cache.policies import (
     REPLACEMENT_POLICIES,
 )
 from repro.cache.prefetcher import NextLinePrefetcher, StreamPrefetcher, make_prefetcher
-from repro.cache.mapping import ModuloMapping, RandomPermutationMapping, make_mapping
+from repro.cache.mapping import (
+    KeyedRemapMapping,
+    ModuloMapping,
+    RandomPermutationMapping,
+    make_mapping,
+)
 from repro.cache.plcache import PLCache
+from repro.cache.defended import (
+    DEFENDED_CACHES,
+    KeyedRemapCache,
+    RandomFillCache,
+    SkewedCache,
+    WayPartitionCache,
+    make_cache,
+)
 from repro.cache.hierarchy import TwoLevelCache
 from repro.cache.events import ConflictEvent, EventLog, FlushEvent
 from repro.cache.soa import SOA_POLICIES, SoACacheEngine
@@ -45,10 +58,17 @@ __all__ = [
     "NextLinePrefetcher",
     "StreamPrefetcher",
     "make_prefetcher",
+    "KeyedRemapMapping",
     "ModuloMapping",
     "RandomPermutationMapping",
     "make_mapping",
     "PLCache",
+    "DEFENDED_CACHES",
+    "KeyedRemapCache",
+    "RandomFillCache",
+    "SkewedCache",
+    "WayPartitionCache",
+    "make_cache",
     "TwoLevelCache",
     "ConflictEvent",
     "EventLog",

@@ -1,0 +1,375 @@
+"""Secure-cache defense mechanisms on the object cache model.
+
+Each class implements one of the built-in defenses of :mod:`repro.defenses`
+as a :class:`~repro.cache.cache.Cache` subclass.  The mechanism is selected by
+the ``defense`` fragment a compiled :class:`~repro.defenses.DefenseSpec`
+places in ``CacheConfig.extra`` (see :func:`make_cache`), so defended caches
+flow through the existing env/backend plumbing unchanged:
+
+* :class:`KeyedRemapCache` — CEASER-style keyed set-index hashing with a
+  periodic re-key epoch (``rekey_epoch`` accesses), modelled as a full
+  invalidation under a fresh key;
+* :class:`SkewedCache` — ScatterCache-style skewed associativity: the ways are
+  split into hash groups, each indexing with its own fixed key, and fills pick
+  a uniformly random way;
+* :class:`WayPartitionCache` — DAWG/CAT-style static way isolation: victim and
+  attacker fills (and their replacement metadata) are confined to disjoint
+  way partitions;
+* :class:`RandomFillCache` — Liu & Lee random-fill: a demand miss is served
+  without caching and a random neighbor line is filled instead.
+
+The PL cache (:mod:`repro.cache.plcache`) predates this module and stays the
+lock-based mechanism behind the ``plcache`` defense.  Keyed-remap and
+way-partition additionally have vectorized kernels in the SoA batched engine
+(:mod:`repro.cache.soa`); the parity suite holds them bit-identical to these
+object implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.cache.cache import AccessResult, Cache
+from repro.cache.config import CacheConfig
+from repro.cache.mapping import KeyedRemapMapping, keyed_set_index
+from repro.cache.policies import make_policy
+
+#: Cap on the 63-bit remap keys (kept below int64 so numpy arrays hold them).
+KEY_SPACE = 1 << 63
+
+
+def _defense_fragment(config: CacheConfig) -> Dict:
+    """The compiled defense fragment carried in ``config.extra`` (or {})."""
+    return dict((config.extra or {}).get("defense") or {})
+
+
+def _reject_unsupported(config: CacheConfig, kind: str) -> None:
+    if config.prefetcher:
+        raise ValueError(f"the {kind} defense does not model prefetchers")
+    if config.lockable:
+        raise ValueError(f"the {kind} defense cannot be combined with PL locking")
+
+
+class KeyedRemapCache(Cache):
+    """Keyed set-index remapping with periodic re-keying (CEASER-style).
+
+    The set index is a keyed hash of the whole address; every ``rekey_epoch``
+    accesses (and on every reset) a fresh key is drawn from the cache RNG and
+    the cache is invalidated — the software model of re-encrypting and
+    gradually remapping the array.  Eviction-set construction therefore only
+    pays off within one epoch.
+    """
+
+    def __init__(self, config: CacheConfig, rng: Optional[np.random.Generator] = None):
+        fragment = _defense_fragment(config)
+        self.rekey_epoch = int(fragment.get("rekey_epoch", 32))
+        if self.rekey_epoch < 1:
+            raise ValueError("rekey_epoch must be >= 1")
+        _reject_unsupported(config, "keyed-remap")
+        if config.mapping.lower() not in ("modulo", "mod"):
+            raise ValueError("keyed-remap replaces the set mapping; configure the "
+                             "base cache with modulo mapping")
+        super().__init__(config, rng=rng)
+        self.mapping = KeyedRemapMapping(config.num_sets)
+        self._accesses_since_rekey = 0
+        self._draw_key()
+
+    def _draw_key(self) -> None:
+        self.mapping.rekey(int(self.rng.integers(KEY_SPACE)))
+
+    def reset(self) -> None:
+        super().reset()
+        self._accesses_since_rekey = 0
+        self._draw_key()
+
+    def _rekey_now(self) -> None:
+        # Epoch boundary: every line is conceptually re-encrypted; modelled as
+        # a full invalidation plus fresh replacement state under a new key.
+        for cache_set in self.sets:
+            for block in cache_set:
+                block.invalidate()
+        for policy in self.policies:
+            policy.reset()
+        self._accesses_since_rekey = 0
+        self._draw_key()
+
+    def access(self, address: int, domain: Optional[str] = None,
+               write: bool = False, _prefetch: bool = False) -> AccessResult:
+        result = super().access(address, domain=domain, write=write,
+                                _prefetch=_prefetch)
+        self._accesses_since_rekey += 1
+        if self._accesses_since_rekey >= self.rekey_epoch:
+            self._rekey_now()
+        return result
+
+
+class SkewedCache(Cache):
+    """Skewed associativity with per-way-group keyed hashes (ScatterCache).
+
+    The ``num_ways`` ways are split into ``groups`` equal hash groups; each
+    group indexes the array with its own fixed key, so an address occupies a
+    different set in every group and fixed eviction sets do not exist.  As in
+    ScatterCache, replacement is a uniformly random way (the configured
+    ``rep_policy`` is not consulted — skews have no shared recency state).
+    """
+
+    def __init__(self, config: CacheConfig, rng: Optional[np.random.Generator] = None):
+        fragment = _defense_fragment(config)
+        self.groups = int(fragment.get("groups", 2))
+        if self.groups < 1 or config.num_ways % self.groups:
+            raise ValueError(f"skew groups ({self.groups}) must evenly divide "
+                             f"num_ways ({config.num_ways})")
+        _reject_unsupported(config, "skew")
+        super().__init__(config, rng=rng)
+        self.ways_per_group = config.num_ways // self.groups
+        # Fixed per-group keys derived from the mapping seed (the hidden key
+        # of the real design; fixed so episodes are comparable).
+        key_rng = np.random.default_rng(config.mapping_seed)
+        self.group_keys = [int(key_rng.integers(KEY_SPACE)) for _ in range(self.groups)]
+
+    def _set_for_way(self, address: int, way: int) -> int:
+        group = way // self.ways_per_group
+        return keyed_set_index(address, self.group_keys[group], self.config.num_sets)
+
+    def _find(self, address: int) -> Optional[tuple]:
+        """(set_index, way) of the resident copy, or None."""
+        for way in range(self.config.num_ways):
+            set_index = self._set_for_way(address, way)
+            if self.sets[set_index][way].matches(address):
+                return set_index, way
+        return None
+
+    def lookup(self, address: int) -> Optional[int]:
+        found = self._find(address)
+        return None if found is None else found[1]
+
+    def access(self, address: int, domain: Optional[str] = None,
+               write: bool = False, _prefetch: bool = False) -> AccessResult:
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        self.access_count += 1
+        found = self._find(address)
+        evicted_address = None
+        evicted_domain = None
+        if found is not None:
+            hit = True
+            set_index, way = found
+            if write:
+                self.sets[set_index][way].dirty = True
+            latency = self.config.hit_latency
+        else:
+            hit = False
+            self.miss_count += 1
+            way = self._victim_way()
+            set_index = self._set_for_way(address, way)
+            victim_block = self.sets[set_index][way]
+            if victim_block.valid:
+                evicted_address = victim_block.address
+                evicted_domain = victim_block.domain
+            # Full-address tags: hashed indices are not invertible.
+            victim_block.fill(address, address, domain)
+            if write:
+                victim_block.dirty = True
+            latency = self.config.miss_latency
+        self.events.record_access(domain, hit, set_index, way, evicted_domain)
+        return AccessResult(address=address, hit=hit, latency=latency,
+                            set_index=set_index, way=way,
+                            evicted_address=evicted_address,
+                            evicted_domain=evicted_domain, domain=domain)
+
+    def _victim_way(self) -> int:
+        # ScatterCache random replacement over all skews (no invalid-first
+        # preference: the fill target is drawn before the skew is inspected).
+        return int(self.rng.integers(self.config.num_ways))
+
+    def flush(self, address: int, domain: Optional[str] = None,
+              record: bool = True) -> bool:
+        found = self._find(address)
+        resident = found is not None
+        if resident:
+            self.sets[found[0]][found[1]].invalidate()
+        if record:
+            set_index = found[0] if resident else self._set_for_way(address, 0)
+            self.events.record_flush(domain, address, set_index, resident)
+        return resident
+
+
+class WayPartitionCache(Cache):
+    """Static way partitioning between victim and attacker (DAWG/CAT-style).
+
+    Ways ``[0, victim_ways)`` belong to the victim domain, the rest to
+    everyone else.  Fills and replacement metadata are confined to the
+    accessing domain's partition (each partition runs its own instance of the
+    configured replacement policy), so with disjoint address ranges the
+    attacker's hits, misses, and evictions are independent of victim activity.
+    """
+
+    def __init__(self, config: CacheConfig, rng: Optional[np.random.Generator] = None):
+        fragment = _defense_fragment(config)
+        victim_ways = fragment.get("victim_ways")
+        victim_ways = (max(1, config.num_ways // 2) if victim_ways is None
+                       else int(victim_ways))
+        if not 1 <= victim_ways < config.num_ways:
+            raise ValueError(f"victim_ways ({victim_ways}) must be in "
+                             f"[1, num_ways ({config.num_ways}))")
+        _reject_unsupported(config, "way-partition")
+        super().__init__(config, rng=rng)
+        self.victim_ways = victim_ways
+        # Independent replacement metadata per (set, partition).
+        self.partition_policies = [
+            (make_policy(config.rep_policy, victim_ways, rng=self.rng),
+             make_policy(config.rep_policy, config.num_ways - victim_ways, rng=self.rng))
+            for _ in range(config.num_sets)]
+
+    def _partition_bounds(self, partition: int) -> tuple:
+        if partition == 0:
+            return 0, self.victim_ways
+        return self.victim_ways, self.config.num_ways
+
+    def reset(self) -> None:
+        super().reset()
+        for victim_policy, other_policy in self.partition_policies:
+            victim_policy.reset()
+            other_policy.reset()
+
+    def access(self, address: int, domain: Optional[str] = None,
+               write: bool = False, _prefetch: bool = False) -> AccessResult:
+        set_index, tag = self.locate(address)
+        cache_set = self.sets[set_index]
+        self.access_count += 1
+        way = None
+        for candidate, block in enumerate(cache_set):
+            if block.matches(tag):
+                way = candidate
+                break
+        evicted_address = None
+        evicted_domain = None
+        if way is not None:
+            hit = True
+            # Metadata ownership follows the way, not the accessor: a hit in
+            # the victim partition touches the victim partition's policy.
+            partition = 0 if way < self.victim_ways else 1
+            low, _ = self._partition_bounds(partition)
+            self.partition_policies[set_index][partition].on_hit(way - low)
+            if write:
+                cache_set[way].dirty = True
+            latency = self.config.hit_latency
+        else:
+            hit = False
+            self.miss_count += 1
+            partition = 0 if domain == "victim" else 1
+            low, high = self._partition_bounds(partition)
+            policy = self.partition_policies[set_index][partition]
+            valid_flags = [cache_set[w].valid for w in range(low, high)]
+            way = low + policy.victim(valid_flags)
+            victim_block = cache_set[way]
+            if victim_block.valid:
+                evicted_address = victim_block.address
+                evicted_domain = victim_block.domain
+            victim_block.fill(tag, address, domain)
+            if write:
+                victim_block.dirty = True
+            policy.on_fill(way - low)
+            latency = self.config.miss_latency
+        self.events.record_access(domain, hit, set_index, way, evicted_domain)
+        return AccessResult(address=address, hit=hit, latency=latency,
+                            set_index=set_index, way=way,
+                            evicted_address=evicted_address,
+                            evicted_domain=evicted_domain, domain=domain)
+
+    def replacement_state(self, set_index: int = 0) -> tuple:
+        """Concatenated (victim partition, other partition) snapshots."""
+        victim_policy, other_policy = self.partition_policies[set_index]
+        return victim_policy.state_snapshot() + other_policy.state_snapshot()
+
+
+class RandomFillCache(Cache):
+    """Random-fill cache (Liu & Lee): demand misses do not allocate.
+
+    A miss is served directly to the requester and a uniformly random neighbor
+    from ``(address, address + fill_window]`` is brought into the cache
+    instead, de-correlating the fill from the demand address.  Prime+probe
+    style attacks lose their handle because the attacker cannot place specific
+    lines with its own misses.
+    """
+
+    def __init__(self, config: CacheConfig, rng: Optional[np.random.Generator] = None):
+        fragment = _defense_fragment(config)
+        self.fill_window = int(fragment.get("fill_window", 4))
+        if self.fill_window < 1:
+            raise ValueError("fill_window must be >= 1")
+        _reject_unsupported(config, "random-fill")
+        super().__init__(config, rng=rng)
+
+    def access(self, address: int, domain: Optional[str] = None,
+               write: bool = False, _prefetch: bool = False) -> AccessResult:
+        set_index, tag = self.locate(address)
+        cache_set = self.sets[set_index]
+        self.access_count += 1
+        for way, block in enumerate(cache_set):
+            if block.matches(tag):
+                self.policies[set_index].on_hit(way)
+                if write:
+                    block.dirty = True
+                self.events.record_access(domain, True, set_index, way, None)
+                return AccessResult(address=address, hit=True,
+                                    latency=self.config.hit_latency,
+                                    set_index=set_index, way=way, domain=domain)
+        # Demand miss: served uncached; a random neighbor line fills instead.
+        self.miss_count += 1
+        fill_address = address + 1 + int(self.rng.integers(self.fill_window))
+        evicted_address, evicted_domain = self._fill_random(fill_address, domain)
+        self.events.record_access(domain, False, set_index, -1, evicted_domain)
+        return AccessResult(address=address, hit=False,
+                            latency=self.config.miss_latency,
+                            set_index=set_index, way=-1,
+                            evicted_address=evicted_address,
+                            evicted_domain=evicted_domain, domain=domain)
+
+    def _fill_random(self, fill_address: int, domain: Optional[str]) -> tuple:
+        """Install ``fill_address`` (if absent); return eviction info."""
+        set_index, tag = self.locate(fill_address)
+        cache_set = self.sets[set_index]
+        for way, block in enumerate(cache_set):
+            if block.matches(tag):
+                return None, None  # already resident: no fetch, no touch
+        policy = self.policies[set_index]
+        way = policy.victim([block.valid for block in cache_set],
+                            self.locked_ways(set_index))
+        victim_block = cache_set[way]
+        evicted = (victim_block.address, victim_block.domain) if victim_block.valid \
+            else (None, None)
+        victim_block.fill(tag, fill_address, domain)
+        policy.on_fill(way)
+        return evicted
+
+
+#: Defense-fragment kind -> object-path cache class.
+DEFENDED_CACHES: Dict[str, Type[Cache]] = {
+    "keyed_remap": KeyedRemapCache,
+    "skew": SkewedCache,
+    "way_partition": WayPartitionCache,
+    "random_fill": RandomFillCache,
+}
+
+
+def make_cache(config: CacheConfig, rng: Optional[np.random.Generator] = None) -> Cache:
+    """Build the (possibly defended) cache a :class:`CacheConfig` describes.
+
+    The defense mechanism is selected by the ``defense`` fragment a compiled
+    :class:`~repro.defenses.DefenseSpec` placed in ``config.extra``; plain
+    configs build a plain :class:`Cache`.  The ``plcache`` defense is not
+    handled here — it rides the lock plumbing in
+    :class:`repro.env.backends.SimulatedCacheBackend`.
+    """
+    fragment = _defense_fragment(config)
+    kind = fragment.get("kind")
+    if kind is None:
+        return Cache(config, rng=rng)
+    cache_class = DEFENDED_CACHES.get(kind)
+    if cache_class is None:
+        raise ValueError(f"unknown defense kind {kind!r} in cache config; "
+                         f"known: {sorted(DEFENDED_CACHES)}")
+    return cache_class(config, rng=rng)

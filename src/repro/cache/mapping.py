@@ -1,10 +1,41 @@
-"""Address-to-set mappings: modulo indexing and fixed random permutations."""
+"""Address-to-set mappings: modulo, fixed random permutations, keyed hashes."""
 
 from __future__ import annotations
 
 from typing import Dict
 
 import numpy as np
+
+# splitmix64-style finalizer constants shared by the scalar and vectorized
+# keyed set hashes (the two must agree bit-for-bit).
+KEYED_HASH_GOLDEN = 0x9E3779B97F4A7C15
+KEYED_HASH_MIX = 0xBF58476D1CE4E5B9
+_MASK64 = (1 << 64) - 1
+
+
+def keyed_set_index(address: int, key: int, num_sets: int) -> int:
+    """Keyed set index of one address (CEASER-style keyed hash, scalar path).
+
+    Unlike a permutation of the modulo index, the keyed hash breaks the
+    congruence classes the attacker's eviction sets rely on: two addresses
+    that collide under one key are unrelated under the next.
+    """
+    x = ((address + 1) * KEYED_HASH_GOLDEN + key) & _MASK64
+    x ^= x >> 31
+    x = (x * KEYED_HASH_MIX) & _MASK64
+    x ^= x >> 27
+    return int(x % num_sets)
+
+
+def keyed_set_index_array(addresses: np.ndarray, keys: np.ndarray,
+                          num_sets: int) -> np.ndarray:
+    """Vectorized twin of :func:`keyed_set_index` (uint64 wraparound math)."""
+    x = (addresses.astype(np.uint64) + np.uint64(1)) * np.uint64(KEYED_HASH_GOLDEN)
+    x = x + keys.astype(np.uint64)
+    x ^= x >> np.uint64(31)
+    x = x * np.uint64(KEYED_HASH_MIX)
+    x ^= x >> np.uint64(27)
+    return (x % np.uint64(num_sets)).astype(np.int64)
 
 
 class SetMapping:
@@ -61,6 +92,32 @@ class RandomPermutationMapping(SetMapping):
         return self._address_cache[address]
 
 
+class KeyedRemapMapping(SetMapping):
+    """Keyed set-index hash with a re-keyable key (CEASER-style remapping).
+
+    The set index is a keyed hash of the whole address, so the hash is not
+    invertible and the full address doubles as the tag.  The key is owned by
+    the defended cache (:class:`repro.cache.defended.KeyedRemapCache`), which
+    draws a fresh one every re-key epoch and on reset.
+    """
+
+    name = "keyed_remap"
+
+    def __init__(self, num_sets: int, key: int = 0):
+        super().__init__(num_sets)
+        self.key = int(key)
+
+    def set_index(self, address: int) -> int:
+        return keyed_set_index(address, self.key, self.num_sets)
+
+    def tag(self, address: int) -> int:
+        # Hashed indices are not invertible, so the address is its own tag.
+        return address
+
+    def rekey(self, key: int) -> None:
+        self.key = int(key)
+
+
 def make_mapping(name: str, num_sets: int, seed: int = 0) -> SetMapping:
     """Construct the set mapping registered under ``name``."""
     key = name.lower()
@@ -68,4 +125,6 @@ def make_mapping(name: str, num_sets: int, seed: int = 0) -> SetMapping:
         return ModuloMapping(num_sets)
     if key in ("random", "random_permutation", "rand_perm"):
         return RandomPermutationMapping(num_sets, seed=seed)
+    if key in ("keyed", "keyed_remap"):
+        return KeyedRemapMapping(num_sets, key=seed)
     raise ValueError(f"unknown mapping {name!r}")

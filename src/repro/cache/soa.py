@@ -23,7 +23,17 @@ identical traces and asserts identical hit/miss/eviction behavior.
 
 Supported configurations: ``lru``, ``plru``, ``rrip``, ``random``, and ``mru``
 replacement; ``modulo`` and ``random_permutation`` mappings; flushes and
-PL-style lock/unlock.  Prefetchers and multi-level hierarchies stay on the
+PL-style lock/unlock.  Two defense fragments (``CacheConfig.extra["defense"]``,
+compiled by :mod:`repro.defenses`) have vectorized kernels:
+
+* ``keyed_remap`` — per-env keyed set-index hashing with a re-key epoch,
+  mirroring :class:`repro.cache.defended.KeyedRemapCache` (same keyed hash,
+  same per-env RNG draws for keys, same invalidate-on-epoch semantics);
+* ``way_partition`` — victim/attacker way isolation with per-partition
+  replacement metadata (lru/mru only), mirroring
+  :class:`repro.cache.defended.WayPartitionCache`.
+
+Prefetchers, multi-level hierarchies, and the other defenses stay on the
 object path (see :func:`repro.env.batched_env.spec_supports_batching`).
 """
 
@@ -34,7 +44,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cache.config import CacheConfig
-from repro.cache.mapping import ModuloMapping, make_mapping
+from repro.cache.mapping import (
+    ModuloMapping,
+    keyed_set_index,
+    keyed_set_index_array,
+    make_mapping,
+)
 
 # Domain codes used in the ``domains`` array.
 DOMAIN_NONE = -1
@@ -89,6 +104,20 @@ class SoACacheEngine:
         if config.prefetcher:
             raise ValueError("the SoA engine does not model prefetchers; "
                              "use the object Cache for prefetcher configs")
+        fragment = dict((config.extra or {}).get("defense") or {})
+        defense_kind = fragment.get("kind")
+        if defense_kind not in (None, "keyed_remap", "way_partition"):
+            raise ValueError(f"no SoA kernel for defense kind {defense_kind!r}; "
+                             "use the object Cache (VecEnv falls back "
+                             "automatically)")
+        self._keyed = defense_kind == "keyed_remap"
+        self._partitioned = defense_kind == "way_partition"
+        if self._keyed and config.mapping.lower() not in ("modulo", "mod"):
+            raise ValueError("the keyed-remap kernel replaces the set mapping; "
+                             "configure the base cache with modulo mapping")
+        if self._partitioned and policy not in ("lru", "mru"):
+            raise ValueError("the way-partition SoA kernel supports lru/mru "
+                             f"replacement only, not {config.rep_policy!r}")
         self.config = config
         self.num_envs = num_envs
         self.policy = policy
@@ -117,6 +146,40 @@ class SoACacheEngine:
         self._all_ways = np.arange(W, dtype=np.int64)
         self._arange_cache = {}
 
+        # Way-partition defense: per-partition replacement metadata.  The
+        # absolute ages array holds partition-relative ages (each partition is
+        # an independent permutation of 0..size-1), so victim selection and
+        # aging are masked to the accessing domain's partition.
+        if self._partitioned:
+            victim_ways = int(fragment["victim_ways"])
+            if not 1 <= victim_ways < W:
+                raise ValueError(f"victim_ways ({victim_ways}) must be in "
+                                 f"[1, num_ways ({W}))")
+            if config.lockable:
+                raise ValueError("way partitioning cannot be combined with "
+                                 "PL locking")
+            self.victim_ways = victim_ways
+            way_partition = np.array([0] * victim_ways + [1] * (W - victim_ways),
+                                     dtype=np.int64)
+            self._way_partition = way_partition
+            self._partition_masks = np.stack([way_partition == 0,
+                                              way_partition == 1])
+            self._partition_ages = np.concatenate(
+                [np.arange(victim_ways, dtype=np.int64),
+                 np.arange(W - victim_ways, dtype=np.int64)])
+        # Keyed-remap defense: one remap key per env, re-drawn from the env's
+        # RNG every rekey_epoch accesses (and on reset), mirroring
+        # KeyedRemapCache's stream consumption exactly.
+        if self._keyed:
+            self._rekey_epoch = int(fragment.get("rekey_epoch", 32))
+            if self._rekey_epoch < 1:
+                raise ValueError("rekey_epoch must be >= 1")
+            if config.lockable:
+                raise ValueError("keyed remapping cannot be combined with "
+                                 "PL locking")
+            self._keys = np.zeros(E, dtype=np.int64)
+            self._rekey_counter = np.zeros(E, dtype=np.int64)
+
         # Replacement state, one flavour per policy.
         if policy in ("lru", "mru"):
             self.ages = np.empty((E, S, W), dtype=np.int64)
@@ -138,9 +201,11 @@ class SoACacheEngine:
         self._addr_tag_list: List[int] = []
         # Modulo set/tag are two integer ops; only the permuted mapping needs
         # the memoized lookup tables (and a per-line address array, since the
-        # permuted set index is not invertible).
-        self._modulo = isinstance(self._mapping, ModuloMapping)
-        self._track_addresses = not self._modulo
+        # permuted set index is not invertible).  Keyed remapping hashes the
+        # whole address per env key, so the address is its own tag and no
+        # lookup table or address array applies.
+        self._modulo = isinstance(self._mapping, ModuloMapping) and not self._keyed
+        self._track_addresses = not self._modulo and not self._keyed
         if self._track_addresses:
             self.addresses = np.full((E, S, W), -1, dtype=np.int64)
         self._addr_set = np.empty(0, dtype=np.int64)
@@ -191,8 +256,17 @@ class SoACacheEngine:
             self.addresses[e] = -1
         self.access_count[e] = 0
         self.miss_count[e] = 0
+        self._reset_replacement_state(e)
+        if self._keyed:
+            # Same per-env draw (and stream position) as KeyedRemapCache:
+            # reset draws a fresh key before any warm-up access.
+            self._rekey_counter[e] = 0
+            for env in e:
+                self._keys[env] = self.rngs[env].integers(1 << 63)
+
+    def _reset_replacement_state(self, e) -> None:
         if self.policy in ("lru", "mru"):
-            self.ages[e] = self._all_ways
+            self.ages[e] = self._partition_ages if self._partitioned else self._all_ways
         elif self.policy == "plru":
             self.plru_bits[e] = 0
         elif self.policy == "rrip":
@@ -218,7 +292,11 @@ class SoACacheEngine:
         self._addr_set_list = addr_set.tolist()
         self._addr_tag_list = addr_tag.tolist()
 
-    def _locate(self, addresses: np.ndarray) -> tuple:
+    def _locate(self, addresses: np.ndarray, env_indices: np.ndarray) -> tuple:
+        if self._keyed:
+            # Per-env keyed hash; the address doubles as the tag.
+            return keyed_set_index_array(addresses, self._keys[env_indices],
+                                         self.config.num_sets), addresses
         if self._modulo:
             num_sets = self.config.num_sets
             if num_sets == 1:
@@ -236,6 +314,8 @@ class SoACacheEngine:
         """Addresses of the given lines (reconstructed from tags under modulo)."""
         if self._track_addresses:
             return self.addresses[e, s, w]
+        if self._keyed:
+            return tags
         return tags * self.config.num_sets + s
 
     # ----------------------------------------------------------------- access
@@ -257,9 +337,14 @@ class SoACacheEngine:
             return np.empty(0, dtype=bool), empty, empty, empty
         if collect and not self._track_domains:
             raise ValueError("collect=True requires track_domains=True")
-        s, t = self._locate(a)
+        s, t = self._locate(a, e)
         if self._track_stats:
             self.access_count[e] += 1
+        partition = None
+        if self._partitioned:
+            # Partition 0 is the victim's; everyone else fills partition 1.
+            partition = (np.ones(n, dtype=np.int64) if domains is None else
+                         (np.asarray(domains) != DOMAIN_VICTIM).astype(np.int64))
 
         set_tags = self.tags[e, s]
         match = set_tags == t[:, None]
@@ -274,7 +359,9 @@ class SoACacheEngine:
             if self._track_stats:
                 self.miss_count[me] += 1
             miss_tags = set_tags[miss]
-            victim = self._choose_victims(me, ms, miss_tags)
+            allowed = (None if partition is None
+                       else self._partition_masks[partition[miss]])
+            victim = self._choose_victims(me, ms, miss_tags, allowed)
             if collect:
                 victim_tags = miss_tags[self._arange(me.shape[0]), victim]
                 victim_valid = victim_tags >= 0
@@ -305,7 +392,26 @@ class SoACacheEngine:
         # independent and can run as one combined update (victim selection
         # above already read the pre-touch state, as the object path does).
         self._on_touch(e, s, way, hit)
+        if self._keyed:
+            # The epoch-closing access completes first (its fill and touch are
+            # visible above), then the due envs re-key and invalidate.
+            self._rekey_counter[e] += 1
+            due_envs = e[self._rekey_counter[e] >= self._rekey_epoch]
+            if due_envs.shape[0]:
+                self._rekey(due_envs)
         return hit, way, evicted_addr, evicted_dom
+
+    def _rekey(self, e: np.ndarray) -> None:
+        """Epoch boundary for the given envs: invalidate, fresh state, new key."""
+        self.tags[e] = -1
+        if self._track_domains:
+            self.domains[e] = DOMAIN_NONE
+        if self._any_dirty:
+            self.dirty[e] = False
+        self._reset_replacement_state(e)
+        self._rekey_counter[e] = 0
+        for env in e:
+            self._keys[env] = self.rngs[env].integers(1 << 63)
 
     def warm_up(self, env_indices: np.ndarray, addresses: np.ndarray,
                 domains: Optional[np.ndarray] = None) -> None:
@@ -328,29 +434,35 @@ class SoACacheEngine:
         if self._lockable and self.locked[env].any():
             raise RuntimeError("scalar warm-up assumes no locked lines; "
                                "use warm_up() after locking")
+        keyed = self._keyed
         modulo = self._modulo
-        if modulo:
-            num_sets = self.config.num_sets
-        elif addresses and max(addresses) >= self._addr_set.shape[0]:
-            self._ensure_mapped(max(addresses))
-        if not modulo:
+        num_sets = self.config.num_sets
+        if keyed:
+            key = int(self._keys[env])
+            counter = int(self._rekey_counter[env])
+        elif not modulo:
+            if addresses and max(addresses) >= self._addr_set.shape[0]:
+                self._ensure_mapped(max(addresses))
             addr_set, addr_tag = self._addr_set_list, self._addr_tag_list
         W = self.config.num_ways
         ways = range(W)
+        if self._partitioned:
+            # All accesses of one warm-up share the caller's domain, so the
+            # fill partition is fixed for the whole replay.
+            fill_lo, fill_hi = self._scalar_partition_bounds(
+                0 if domain == DOMAIN_VICTIM else self.victim_ways)
+        else:
+            fill_lo, fill_hi = 0, W
         tags = self.tags[env].tolist()
         doms = self.domains[env].tolist() if self._track_domains else None
         addrs = self.addresses[env].tolist() if self._track_addresses else None
-        if self.policy in ("lru", "mru"):
-            state = self.ages[env].tolist()
-        elif self.policy == "plru":
-            state = self.plru_bits[env].tolist()
-        elif self.policy == "rrip":
-            state = self.rrpv[env].tolist()
-        else:
-            state = None
+        state = self._scalar_state(env)
         misses = 0
         for address in addresses:
-            if modulo:
+            if keyed:
+                s = keyed_set_index(address, key, num_sets)
+                t = address
+            elif modulo:
                 s = address % num_sets
                 t = address // num_sets
             else:
@@ -366,13 +478,27 @@ class SoACacheEngine:
                 self._scalar_on_hit(state, s, way)
             else:
                 misses += 1
-                way = self._scalar_victim(env, row, state, s)
+                way = self._scalar_victim(env, row, state, s, fill_lo, fill_hi)
                 row[way] = t
                 if doms is not None:
                     doms[s][way] = domain
                 if addrs is not None:
                     addrs[s][way] = address
                 self._scalar_on_fill(state, s, way)
+            if keyed:
+                counter += 1
+                if counter >= self._rekey_epoch:
+                    # Mid-warm-up epoch boundary, mirroring _rekey().
+                    for set_tags in tags:
+                        for w in ways:
+                            set_tags[w] = -1
+                    if doms is not None:
+                        for set_doms in doms:
+                            for w in ways:
+                                set_doms[w] = DOMAIN_NONE
+                    state = self._scalar_fresh_state()
+                    counter = 0
+                    key = int(self.rngs[env].integers(1 << 63))
         self.tags[env] = tags
         if doms is not None:
             self.domains[env] = doms
@@ -384,22 +510,63 @@ class SoACacheEngine:
             self.plru_bits[env] = state
         elif self.policy == "rrip":
             self.rrpv[env] = state
+        if keyed:
+            self._keys[env] = key
+            self._rekey_counter[env] = counter
         if self._track_stats:
             self.access_count[env] += len(addresses)
             self.miss_count[env] += misses
 
     # ------------------------------------------------- scalar warm-up helpers
-    def _scalar_victim(self, env: int, row: list, state, s: int) -> int:
-        """Victim way for one lock-free set given as Python lists."""
-        for w in range(self.config.num_ways):
+    def _scalar_state(self, env: int):
+        """The env's replacement state pulled out as nested Python lists."""
+        if self.policy in ("lru", "mru"):
+            return self.ages[env].tolist()
+        if self.policy == "plru":
+            return self.plru_bits[env].tolist()
+        if self.policy == "rrip":
+            return self.rrpv[env].tolist()
+        return None
+
+    def _scalar_fresh_state(self):
+        """Freshly-reset replacement state as nested Python lists (re-key)."""
+        S, W = self.config.num_sets, self.config.num_ways
+        if self.policy in ("lru", "mru"):
+            template = (self._partition_ages.tolist() if self._partitioned
+                        else list(range(W)))
+            return [list(template) for _ in range(S)]
+        if self.policy == "plru":
+            return [[0] * max(W - 1, 1) for _ in range(S)]
+        if self.policy == "rrip":
+            return [[self.max_rrpv] * W for _ in range(S)]
+        return None
+
+    def _scalar_partition_bounds(self, way: int) -> tuple:
+        """[low, high) ways of the partition holding ``way`` (whole set if none)."""
+        if not self._partitioned:
+            return 0, self.config.num_ways
+        if way < self.victim_ways:
+            return 0, self.victim_ways
+        return self.victim_ways, self.config.num_ways
+
+    def _scalar_victim(self, env: int, row: list, state, s: int,
+                       lo: int = 0, hi: Optional[int] = None) -> int:
+        """Victim way for one lock-free set given as Python lists.
+
+        ``[lo, hi)`` restricts candidates to the filling domain's way
+        partition (the whole set without the way-partition defense).
+        """
+        if hi is None:
+            hi = self.config.num_ways
+        for w in range(lo, hi):
             if row[w] < 0:
                 return w
         if self.policy == "lru":
             ages = state[s]
-            return ages.index(max(ages))
+            return max(range(lo, hi), key=lambda w: ages[w])
         if self.policy == "mru":
             ages = state[s]
-            return ages.index(min(ages))
+            return min(range(lo, hi), key=lambda w: ages[w])
         if self.policy == "rrip":
             rrpv = state[s]
             while True:
@@ -424,7 +591,8 @@ class SoACacheEngine:
 
     def _scalar_on_hit(self, state, s: int, way: int) -> None:
         if self.policy in ("lru", "mru"):
-            self._scalar_touch_ages(state[s], way)
+            lo, hi = self._scalar_partition_bounds(way)
+            self._scalar_touch_ages(state[s], way, lo, hi)
         elif self.policy == "plru":
             bits = state[s]
             for node, away in self._plru_path_pairs[way]:
@@ -439,39 +607,39 @@ class SoACacheEngine:
             self._scalar_on_hit(state, s, way)
 
     @staticmethod
-    def _scalar_touch_ages(ages: list, way: int) -> None:
+    def _scalar_touch_ages(ages: list, way: int, lo: int, hi: int) -> None:
         old = ages[way]
-        for w in range(len(ages)):
+        for w in range(lo, hi):
             if ages[w] < old:
                 ages[w] += 1
         ages[way] = 0
 
     # -------------------------------------------------------- victim selection
     def _choose_victims(self, e: np.ndarray, s: np.ndarray,
-                        set_tags: np.ndarray) -> np.ndarray:
+                        set_tags: np.ndarray,
+                        allowed: Optional[np.ndarray] = None) -> np.ndarray:
         """Victim way per (env, set) row: first free way, else the policy pick.
 
-        ``set_tags`` are the pre-gathered tag rows for these (env, set) pairs.
+        ``set_tags`` are the pre-gathered tag rows for these (env, set) pairs;
+        ``allowed`` (way-partition defense) restricts candidates to the
+        accessing domain's partition.
         """
+        candidates = allowed
         if self._lockable:
-            locked_rows = self.locked[e, s]
-            free = (set_tags < 0) & ~locked_rows
-        else:
-            locked_rows = None
-            free = set_tags < 0
+            unlocked_rows = ~self.locked[e, s]
+            candidates = (unlocked_rows if candidates is None
+                          else candidates & unlocked_rows)
+        free = (set_tags < 0) if candidates is None else (set_tags < 0) & candidates
         victim = free.argmax(axis=1)
         need_policy = ~free.any(axis=1)
         if need_policy.any():
             pe, ps = e[need_policy], _subset(s, need_policy)
-            if locked_rows is None:
-                unlocked = None
-            else:
-                unlocked = ~locked_rows[need_policy]
-                if not unlocked.any(axis=1).all():
-                    raise RuntimeError(
-                        f"cannot choose a victim: all {self.config.num_ways} "
-                        "ways are locked in at least one set")
-            victim[need_policy] = self._policy_victim(pe, ps, unlocked)
+            mask = None if candidates is None else candidates[need_policy]
+            if self._lockable and mask is not None and not mask.any(axis=1).all():
+                raise RuntimeError(
+                    f"cannot choose a victim: all {self.config.num_ways} "
+                    "ways are locked in at least one set")
+            victim[need_policy] = self._policy_victim(pe, ps, mask)
         return victim
 
     def _policy_victim(self, e: np.ndarray, s: np.ndarray,
@@ -544,7 +712,12 @@ class SoACacheEngine:
         rows = self.ages[e, s]
         idx = self._arange(rows.shape[0])
         old = rows[idx, w]
-        rows += rows < old[:, None]
+        if self._partitioned:
+            # Aging stays inside the touched way's partition (metadata
+            # ownership follows the way, as in WayPartitionCache).
+            rows += (rows < old[:, None]) & self._partition_masks[self._way_partition[w]]
+        else:
+            rows += rows < old[:, None]
         rows[idx, w] = 0
         self.ages[e, s] = rows
 
@@ -573,7 +746,7 @@ class SoACacheEngine:
         a = np.asarray(addresses, dtype=np.int64)
         if e.shape[0] == 0:
             return np.empty(0, dtype=bool)
-        s, t = self._locate(a)
+        s, t = self._locate(a, e)
         match = self.tags[e, s] == t[:, None]
         resident = match.any(axis=1)
         if resident.any():
@@ -599,7 +772,7 @@ class SoACacheEngine:
         a = np.asarray(addresses, dtype=np.int64)
         if e.shape[0] == 0:
             return
-        s, t = self._locate(a)
+        s, t = self._locate(a, e)
         match = self.tags[e, s] == t[:, None]
         resident = match.any(axis=1)
         way = match.argmax(axis=1)
@@ -617,7 +790,7 @@ class SoACacheEngine:
         a = np.asarray(addresses, dtype=np.int64)
         if e.shape[0] == 0:
             return
-        s, t = self._locate(a)
+        s, t = self._locate(a, e)
         match = self.tags[e, s] == t[:, None]
         resident = match.any(axis=1)
         if resident.any():
@@ -625,7 +798,15 @@ class SoACacheEngine:
             self.locked[re, rs, match.argmax(axis=1)[resident]] = False
 
     # -------------------------------------------------------------- inspection
-    def _locate_scalar(self, address: int) -> tuple:
+    @property
+    def domain_sensitive(self) -> bool:
+        """Whether accesses must carry domains (the way-partition defense)."""
+        return self._partitioned
+
+    def _locate_scalar(self, address: int, env: int = 0) -> tuple:
+        if self._keyed:
+            return keyed_set_index(address, int(self._keys[env]),
+                                   self.config.num_sets), address
         if self._modulo:
             num_sets = self.config.num_sets
             return address % num_sets, address // num_sets
@@ -635,7 +816,7 @@ class SoACacheEngine:
 
     def lookup(self, env: int, address: int) -> Optional[int]:
         """Way holding ``address`` in env ``env``, or None (no side effects)."""
-        s, t = self._locate_scalar(address)
+        s, t = self._locate_scalar(address, env)
         match = self.tags[env, s] == t
         if not match.any():
             return None
@@ -650,6 +831,8 @@ class SoACacheEngine:
         resident = tags >= 0
         if self._track_addresses:
             lines = self.addresses[env][resident]
+        elif self._keyed:
+            lines = tags[resident]  # full-address tags
         else:
             sets = np.broadcast_to(
                 np.arange(self.config.num_sets)[:, None], tags.shape)

@@ -1,0 +1,64 @@
+"""The built-in defense catalogue.
+
+Registers the five defenses the paper's defended-cache studies (Sec. V-B/V-D,
+Table VII) and the follow-on literature motivate:
+
+* ``plcache`` — partition-locked cache (Wang & Lee): the victim's lines are
+  pre-installed and locked;
+* ``keyed-remap`` — CEASER-style keyed set-index remapping with a periodic
+  re-key epoch;
+* ``skew`` — ScatterCache-style skewed associativity (per-way-group hashes,
+  random fills);
+* ``way-partition`` — DAWG/CAT-style static way isolation between victim and
+  attacker;
+* ``random-fill`` — Liu & Lee random-fill cache (demand misses do not
+  allocate).
+
+Importing :mod:`repro.defenses` runs this module, so every scenario and the
+``defense_matrix`` experiment see the full catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.registry import register_defense
+from repro.defenses.spec import DefenseSpec
+
+
+def register_builtin_defenses() -> None:
+    """Populate the registry (idempotent: skips when already registered)."""
+    from repro.defenses.registry import is_defense_registered
+
+    if is_defense_registered("plcache"):
+        return
+    register_defense(DefenseSpec(
+        defense_id="plcache", kind="plcache",
+        description=("Partition-locked cache: the victim's lines are "
+                     "pre-installed and locked (Table VII setting); "
+                     "locked_addresses defaults to the victim range"),
+    ))
+    register_defense(DefenseSpec(
+        defense_id="keyed-remap", kind="keyed_remap",
+        description=("CEASER-style keyed set-index remapping, re-keyed (and "
+                     "flushed) every rekey_epoch=32 accesses"),
+        params={"rekey_epoch": 32},
+    ))
+    register_defense(DefenseSpec(
+        defense_id="skew", kind="skew",
+        description=("ScatterCache-style skewed associativity: 2 per-way hash "
+                     "groups with independent keyed indices, random fills"),
+        params={"groups": 2},
+    ))
+    register_defense(DefenseSpec(
+        defense_id="way-partition", kind="way_partition",
+        description=("DAWG/CAT-style static way isolation; victim_ways "
+                     "defaults to half the associativity"),
+    ))
+    register_defense(DefenseSpec(
+        defense_id="random-fill", kind="random_fill",
+        description=("Random-fill cache: demand misses are served uncached and "
+                     "a random neighbor within fill_window=4 fills instead"),
+        params={"fill_window": 4},
+    ))
+
+
+register_builtin_defenses()

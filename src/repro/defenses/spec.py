@@ -1,0 +1,185 @@
+"""Declarative, serializable secure-cache defense descriptions.
+
+A :class:`DefenseSpec` is the defense-layer sibling of
+:class:`repro.scenarios.ScenarioSpec`: a frozen value object naming one
+defense *mechanism* (``kind``) plus its parameters.  Specs round-trip
+losslessly through ``to_dict``/``from_dict`` and JSON, so defenses can be
+stored inside scenario specs, campaign manifests, and run artifacts.
+
+A defense does not build anything by itself — it **compiles into fragments**
+(:class:`CompiledDefense`) that the scenario layer folds into the environment
+it is defending:
+
+* ``cache_overrides`` are merged into the scenario's cache config.  Mechanisms
+  that change cache behavior (keyed-remap, skew, way-partition, random-fill)
+  place a plain-data ``defense`` fragment in ``CacheConfig.extra``, which
+  :func:`repro.cache.defended.make_cache` and the SoA engine interpret;
+* ``env_overrides`` are merged into the scenario's env kwargs;
+* ``wrappers`` are appended to the scenario's wrapper pipeline;
+* ``locked_addresses`` pre-installs and locks victim lines (the PL cache).
+
+``supports_soa()`` is the capability hook the vectorized trainer consults:
+keyed-remap and way-partition have SoA batched kernels, the others warn and
+fall back to the (bit-identical) object path.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.cache.config import CacheConfig
+
+#: Defense mechanisms the cache substrate implements.
+DEFENSE_KINDS = ("plcache", "keyed_remap", "skew", "way_partition", "random_fill")
+
+#: Mechanisms with vectorized SoA kernels, mapped to the replacement policies
+#: the kernel supports (None = every SoA-capable policy).
+_SOA_KERNELS: Dict[str, Optional[Tuple[str, ...]]] = {
+    "keyed_remap": None,
+    "way_partition": ("lru", "mru"),
+}
+
+
+@dataclass(frozen=True)
+class CompiledDefense:
+    """The fragments a defense contributes to the scenario that applies it."""
+
+    cache_overrides: Dict = field(default_factory=dict)
+    env_overrides: Dict = field(default_factory=dict)
+    wrappers: Tuple[Dict, ...] = ()
+    locked_addresses: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """Frozen description of one secure-cache defense.
+
+    Fields
+    ------
+    defense_id:
+        Registry key (``"plcache"``, ``"keyed-remap"``, ...).
+    kind:
+        The mechanism, one of :data:`DEFENSE_KINDS`.  Several registered
+        defenses may share a kind with different parameters.
+    description:
+        One-line summary for listings.
+    params:
+        Mechanism parameters: ``locked_addresses`` (plcache, defaults to the
+        scenario's victim range), ``rekey_epoch`` (keyed_remap), ``groups``
+        (skew), ``victim_ways`` (way_partition, defaults to half the ways),
+        ``fill_window`` (random_fill).
+    """
+
+    defense_id: str
+    kind: str
+    description: str = ""
+    params: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.defense_id:
+            raise ValueError("defense_id must be non-empty")
+        if self.kind not in DEFENSE_KINDS:
+            raise ValueError(f"unknown defense kind {self.kind!r}; "
+                             f"choose from {DEFENSE_KINDS}")
+        object.__setattr__(self, "params", dict(self.params))
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data dict (JSON-safe) that losslessly round-trips via from_dict."""
+        data = dataclasses.asdict(self)
+        data["params"] = copy.deepcopy(dict(self.params))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DefenseSpec":
+        data = dict(data)
+        # Inline fragments may omit the id; the kind doubles as one.
+        if "defense_id" not in data and "kind" in data:
+            data["defense_id"] = data["kind"]
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown DefenseSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self, **json_kwargs) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **json_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DefenseSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -------------------------------------------------------------- derivation
+    def derive(self, defense_id: str, **params) -> "DefenseSpec":
+        """A renamed copy with parameter overrides merged in."""
+        merged = {**self.params, **params}
+        return dataclasses.replace(self, defense_id=defense_id, params=merged)
+
+    # ------------------------------------------------------------- compilation
+    def compile(self, scenario=None) -> CompiledDefense:
+        """Compile into the fragments the scenario layer applies.
+
+        ``scenario`` (a :class:`~repro.scenarios.ScenarioSpec`, duck-typed) is
+        the scenario being defended; it supplies context-dependent defaults
+        (the victim address range for plcache, the associativity for
+        way-partition).  ``None`` falls back to :class:`CacheConfig` /
+        :class:`~repro.env.config.EnvConfig` defaults.
+        """
+        cache_kwargs = dict(getattr(scenario, "cache", None) or {})
+        env_kwargs = dict(getattr(scenario, "env_kwargs", None) or {})
+        if self.kind == "plcache":
+            locked = self.params.get("locked_addresses")
+            if locked is None:
+                victim_s = int(env_kwargs.get("victim_addr_s", 0))
+                victim_e = int(env_kwargs.get("victim_addr_e", 0))
+                locked = range(victim_s, victim_e + 1)
+            return CompiledDefense(cache_overrides={"lockable": True},
+                                   locked_addresses=tuple(int(a) for a in locked))
+        if self.kind == "keyed_remap":
+            fragment = {"kind": "keyed_remap",
+                        "rekey_epoch": int(self.params.get("rekey_epoch", 32))}
+        elif self.kind == "skew":
+            fragment = {"kind": "skew", "groups": int(self.params.get("groups", 2))}
+        elif self.kind == "way_partition":
+            num_ways = int(cache_kwargs.get("num_ways", CacheConfig.num_ways))
+            victim_ways = self.params.get("victim_ways")
+            victim_ways = (max(1, num_ways // 2) if victim_ways is None
+                           else int(victim_ways))
+            fragment = {"kind": "way_partition", "victim_ways": victim_ways}
+        else:  # random_fill
+            fragment = {"kind": "random_fill",
+                        "fill_window": int(self.params.get("fill_window", 4))}
+        return CompiledDefense(cache_overrides={"extra": {"defense": fragment}})
+
+    # -------------------------------------------------------------- capability
+    def supports_soa(self, cache: Optional[CacheConfig] = None) -> bool:
+        """Whether this defense has a vectorized kernel in the SoA engine.
+
+        ``cache`` narrows the answer to one cache config (the way-partition
+        kernel only covers lru/mru replacement); ``None`` answers for the
+        mechanism in general.
+        """
+        if self.kind not in _SOA_KERNELS:
+            return False
+        policies = _SOA_KERNELS[self.kind]
+        if cache is None or policies is None:
+            return True
+        return cache.rep_policy.lower() in policies
+
+
+def fragment_supports_soa(fragment: Mapping, cache: CacheConfig) -> bool:
+    """Capability check for a compiled ``defense`` fragment in ``CacheConfig.extra``.
+
+    Used by :func:`repro.env.batched_env.config_supports_batching`, which sees
+    only the compiled config (the spec-level hook is
+    :meth:`repro.scenarios.ScenarioSpec.supports_soa`).
+    """
+    kind = fragment.get("kind")
+    if kind not in _SOA_KERNELS:
+        return False
+    policies = _SOA_KERNELS[kind]
+    return policies is None or cache.rep_policy.lower() in policies

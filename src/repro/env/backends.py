@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
+from repro.cache.defended import make_cache
 from repro.cache.events import EventLog
 from repro.cache.hierarchy import TwoLevelCache
 from repro.cache.plcache import PLCache
@@ -50,7 +51,13 @@ class CacheBackend:
 
 
 class SimulatedCacheBackend(CacheBackend):
-    """Single-level software cache, optionally a PL cache with locked victim lines."""
+    """Single-level software cache, optionally defended.
+
+    The cache class follows the config: PL-locked victim lines build a
+    :class:`~repro.cache.plcache.PLCache`, a compiled ``defense`` fragment in
+    ``config.extra`` builds the matching :mod:`repro.cache.defended` cache,
+    everything else a plain :class:`~repro.cache.cache.Cache`.
+    """
 
     def __init__(self, config: CacheConfig, rng: Optional[np.random.Generator] = None,
                  pl_locked_addresses: Optional[list] = None):
@@ -60,7 +67,7 @@ class SimulatedCacheBackend(CacheBackend):
         if self.pl_locked_addresses:
             self.cache: Cache = PLCache(config, rng=self.rng)
         else:
-            self.cache = Cache(config, rng=self.rng)
+            self.cache = make_cache(config, rng=self.rng)
         self._install_locks()
 
     def _install_locks(self) -> None:

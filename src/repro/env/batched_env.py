@@ -23,7 +23,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.cache.soa import SOA_MAPPINGS, SOA_POLICIES, SoACacheEngine
+from repro.cache.soa import (
+    DOMAIN_ATTACKER,
+    DOMAIN_VICTIM,
+    SOA_MAPPINGS,
+    SOA_POLICIES,
+    SoACacheEngine,
+)
 from repro.env.actions import ActionKind, ActionSpace
 from repro.env.config import EnvConfig
 
@@ -62,20 +68,25 @@ def config_supports_batching(config: EnvConfig) -> bool:
         return False
     if cache.mapping.lower() not in SOA_MAPPINGS:
         return False
+    fragment = (cache.extra or {}).get("defense")
+    if fragment:
+        from repro.defenses import fragment_supports_soa
+
+        if not fragment_supports_soa(fragment, cache):
+            return False
     return True
 
 
 def spec_supports_batching(spec) -> bool:
     """Whether a :class:`~repro.scenarios.ScenarioSpec` can be collapsed into
-    one :class:`BatchedGuessingGame` (plain guessing env, no wrappers, no
-    PL-cache locks, SoA-capable cache config)."""
-    if spec.env != "guessing" or spec.wrappers or spec.pl_locked_addresses:
-        return False
-    try:
-        config = spec.build_config()
-    except (TypeError, ValueError):
-        return False
-    return config_supports_batching(config)
+    one :class:`BatchedGuessingGame`.
+
+    Thin alias for the spec's own capability hook,
+    :meth:`~repro.scenarios.ScenarioSpec.supports_soa`, which consults the
+    env class, the wrapper builders, the defense, and the compiled cache
+    config instead of a hard-coded allowlist.
+    """
+    return spec.supports_soa()
 
 
 class BatchedGuessingGame:
@@ -99,6 +110,10 @@ class BatchedGuessingGame:
         # The game never reads per-access counters or per-line domain codes.
         self.engine = SoACacheEngine(config.cache, num_envs, rngs=self.rngs,
                                      track_stats=False, track_domains=False)
+        # Domain-sensitive defenses (way partitioning) need to know whether
+        # each access is the attacker's or the victim's.
+        self._needs_domains = self.engine.domain_sensitive
+        self._domain_buffer = np.zeros(num_envs, dtype=np.int8)
 
         self.actions = ActionSpace(config)
         self.num_actions = len(self.actions)
@@ -207,15 +222,22 @@ class BatchedGuessingGame:
         is_access = self._access_table[acts]
         is_trigger = self._trigger_table[acts]
         does_access = is_access | (is_trigger & (self.secrets >= 0))
+        domains = None
+        if self._needs_domains:
+            domains = self._domain_buffer
+            np.copyto(domains, np.where(is_access, DOMAIN_ATTACKER, DOMAIN_VICTIM))
         if does_access.all():
             # Common in attack traces: every env accesses, no subset gathers.
             addr = np.where(is_access, addrs, self.secrets)
-            hit, _, _, _ = self.engine.access(self._arange, addr, collect=False)
+            hit, _, _, _ = self.engine.access(self._arange, addr, domains,
+                                              collect=False)
             latency[is_access] = np.where(hit[is_access], _LAT_HIT, _LAT_MISS)
         elif does_access.any():
             env_idx = np.flatnonzero(does_access)
             addr = np.where(is_access, addrs, self.secrets)[env_idx]
-            hit, _, _, _ = self.engine.access(env_idx, addr, collect=False)
+            hit, _, _, _ = self.engine.access(
+                env_idx, addr, None if domains is None else domains[env_idx],
+                collect=False)
             attacker_rows = is_access[env_idx]
             latency[env_idx[attacker_rows]] = np.where(hit[attacker_rows],
                                                        _LAT_HIT, _LAT_MISS)

@@ -22,6 +22,9 @@ from repro.env.observation import LatencyObservation
 class MultiGuessCovertEnv(CacheGuessingGameEnv):
     """Fixed-length episodes in which every guess transmits one secret."""
 
+    # Multi-guess episode semantics have no batched SoA twin.
+    supports_soa_batching = False
+
     def __init__(self, config: EnvConfig, episode_length: int = 160, **kwargs):
         config.max_steps = episode_length
         super().__init__(config, **kwargs)

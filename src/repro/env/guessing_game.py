@@ -63,6 +63,10 @@ class CacheGuessingGameEnv:
     # Advertise the allocation-free step path (wrappers set this to False so
     # their reward shaping cannot be bypassed).
     supports_step_into = True
+    # Capability hook consulted by ScenarioSpec.supports_soa(): the plain
+    # guessing game has a batched SoA twin (BatchedGuessingGame); subclasses
+    # with different episode semantics must opt out.
+    supports_soa_batching = True
 
     def __init__(self, config: EnvConfig, backend: Optional[CacheBackend] = None,
                  rng: Optional[np.random.Generator] = None,

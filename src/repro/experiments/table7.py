@@ -24,18 +24,21 @@ from repro.scenarios import make_factory
 def make_env_factory(pl_cache: bool, num_ways: int = 4, rep_policy: str = "plru"):
     """Environment factory: PLRU cache, victim line 0 locked when ``pl_cache``.
 
-    Thin shim over the scenario registry (``guessing/plcache-plru-4way`` /
-    ``guessing/plcache-baseline-4way``) with associativity/policy overrides.
+    Thin shim over the scenario registry: the Table VII baseline scenario
+    hardened through the generic defense registry (``defense="plcache"``
+    pre-installs and locks the victim range), with associativity/policy
+    overrides.
     """
-    scenario = "guessing/plcache-plru-4way" if pl_cache else "guessing/plcache-baseline-4way"
     overrides = {}
+    if pl_cache:
+        overrides["defense"] = "plcache"
     if rep_policy != "plru":
         overrides["cache.rep_policy"] = rep_policy
     if num_ways != 4:
         overrides.update({"cache.num_ways": num_ways,
                           "attacker_addr_e": num_ways + 1,
                           "window_size": 3 * num_ways, "max_steps": 3 * num_ways})
-    return make_factory(scenario, **overrides)
+    return make_factory("guessing/plcache-baseline-4way", **overrides)
 
 
 def run_cell(params: Dict, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:

@@ -12,13 +12,16 @@ path and ``repro.make()`` construct identical environments.
 
 Two hot paths exist, picked automatically:
 
-* **Batched SoA fast path** — when the source is a scenario whose spec is
-  SoA-capable (plain guessing env, no wrappers/PL locks/hierarchy/prefetcher,
-  supported policy and mapping), the N per-env objects are collapsed into one
+* **Batched SoA fast path** — when the source is a scenario whose
+  ``spec.supports_soa()`` capability hook says yes (plain guessing env, every
+  wrapper and the defense SoA-capable, supported policy/mapping — the
+  ``keyed-remap`` and ``way-partition`` defenses have batched kernels), the N
+  per-env objects are collapsed into one
   :class:`~repro.env.batched_env.BatchedGuessingGame` that advances the whole
   batch per step in a handful of numpy kernels.  This is bit-identical to the
   per-env path (same seeds, same RNG streams) but roughly an order of
-  magnitude faster.  Opt out per scenario with ``backend="object"``.
+  magnitude faster.  Opt out per scenario with ``backend="object"``;
+  defended scenarios whose defense has no kernel warn and fall back.
 * **Per-env fallback** — wrapped/PL/hierarchy envs (and factory callables) are
   stepped one by one; envs that advertise ``supports_step_into`` write their
   observations directly into rows of the batch buffer.
@@ -66,7 +69,22 @@ class VecEnv:
             from repro.env.batched_env import (BatchedGuessingGame,
                                                spec_supports_batching)
 
-            if spec_supports_batching(spec):
+            # Batching eligibility is the spec's supports_soa() capability
+            # hook (env class + wrappers + defense + cache config), not a
+            # hard-coded allowlist.  A defended scenario whose defense has no
+            # SoA kernel warns so the throughput cliff is visible.
+            batchable = spec_supports_batching(spec)
+            if (not batchable and spec.defense is not None
+                    and num_envs >= batching_threshold
+                    and spec.with_overrides(defense=None).supports_soa()):
+                # The defense is the only thing keeping this batch on the
+                # object path (not an explicit backend="object", wrapper, ...).
+                warnings.warn(
+                    f"scenario {spec.scenario_id!r}: its defense has no SoA "
+                    "batched kernel; stepping per-env on the bit-identical "
+                    "object path (expect object-path throughput)",
+                    RuntimeWarning, stacklevel=2)
+            if batchable:
                 config = spec.build_config()
                 # Below the threshold the per-op numpy overhead of the
                 # batched kernels loses to the object path, so the collapse

@@ -77,6 +77,23 @@ def _register_builtin_experiments() -> None:
     ))
 
     register_experiment(ExperimentSpec(
+        experiment_id="defense_matrix",
+        description=("Attacker-vs-defense matrix: scripted-probe and PPO "
+                     "attacker accuracy across base scenarios x defenses"),
+        driver="repro.experiments.defense_matrix",
+        columns=("scenario", "defense", "probe_accuracy", "accuracy",
+                 "bits_per_episode", "episode_length", "epochs_to_converge",
+                 "converged"),
+        grid=tuple({"scenario": scenario, "defense": defense}
+                   for scenario in ("guessing/lru-4way-disjoint",
+                                    "guessing/plcache-baseline-4way",
+                                    "guessing/sa-4set-2way")
+                   for defense in ("none", "plcache", "keyed-remap",
+                                   "way-partition", "random-fill")),
+        tags=("rl", "defense"),
+    ))
+
+    register_experiment(ExperimentSpec(
         experiment_id="table8",
         description="Table VIII: bypassing CC-Hunter's autocorrelation detection",
         driver="repro.experiments.table8_fig3",

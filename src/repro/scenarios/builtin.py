@@ -8,6 +8,8 @@ Registers every environment the experiments, examples, and benchmarks use:
 * ``table4/cfg01`` .. ``table4/cfg17`` — the Table IV configuration sweep;
 * ``covert/*`` — fixed-length multi-guess covert-channel episodes, with
   CC-Hunter / Cyclone detector wrappers as declarative variants;
+* ``defended/*`` — curated base scenarios hardened with each built-in
+  secure-cache defense (see :mod:`repro.defenses`);
 * ``blackbox/*`` — one scenario per simulated machine (Tables III and X).
 
 Importing :mod:`repro.scenarios` runs this module, so ``repro.make()`` always
@@ -52,23 +54,47 @@ def _register_guessing_family() -> None:
                           "event log)"),
              backend="soa")
 
-    # Table VII: PLRU set with the victim's line locked (PL cache), plus the
-    # unprotected baseline with the same address layout.
+    # Table VII layout: disjoint attacker (1-5) / victim (0) ranges, so the
+    # defenses below actually isolate something.  The PL-cache variant rides
+    # the defense registry (defense="plcache" locks the victim range).
     register(ScenarioSpec(
-        scenario_id="guessing/plcache-plru-4way",
-        description=("4-way PLRU PL cache with victim line 0 pre-installed and "
-                     "locked (Table VII defense setting)"),
-        cache={"num_sets": 1, "num_ways": 4, "rep_policy": "plru", "lockable": True},
+        scenario_id="guessing/plcache-baseline-4way",
+        description=("Table VII baseline: 4-way PLRU set, disjoint attacker "
+                     "(1-5) / victim (0) ranges, no defense"),
+        cache={"num_sets": 1, "num_ways": 4, "rep_policy": "plru"},
         env_kwargs={"attacker_addr_s": 1, "attacker_addr_e": 5,
                     "victim_addr_s": 0, "victim_addr_e": 0,
                     "victim_no_access_enable": True,
                     "window_size": 12, "max_steps": 12},
-        pl_locked_addresses=(0,),
     ))
-    register(base="guessing/plcache-plru-4way",
-             scenario_id="guessing/plcache-baseline-4way",
-             description="Table VII baseline: same layout, no PL locking",
-             pl_locked_addresses=(), **{"cache.lockable": False})
+    register(base="guessing/plcache-baseline-4way",
+             scenario_id="guessing/plcache-plru-4way",
+             description=("4-way PLRU PL cache with victim line 0 pre-installed "
+                          "and locked (Table VII defense setting)"),
+             defense="plcache")
+    register(base="guessing/plcache-baseline-4way",
+             scenario_id="guessing/lru-4way-disjoint",
+             description=("4-way fully-associative LRU set with disjoint "
+                          "attacker (1-5) / victim (0) ranges"),
+             **{"cache.rep_policy": "lru"})
+
+    # Set-associative prime+probe setting with disjoint ranges: the multi-set
+    # row of the defense matrix (set-index remapping only matters when there
+    # is more than one set to remap).
+    # The attacker owns 5 of 8 lines: a partial footprint, so set-index
+    # remapping genuinely breaks its eviction sets (flooding the whole cache
+    # would leak under any mapping).
+    register(ScenarioSpec(
+        scenario_id="guessing/sa-4set-2way",
+        description=("4-set 2-way LRU cache; victim accesses 0 or nothing, "
+                     "attacker owns 4-8 (set-associative prime+probe with a "
+                     "partial cache footprint)"),
+        cache={"num_sets": 4, "num_ways": 2},
+        env_kwargs={"attacker_addr_s": 4, "attacker_addr_e": 8,
+                    "victim_addr_s": 0, "victim_addr_e": 0,
+                    "victim_no_access_enable": True,
+                    "window_size": 16, "max_steps": 16},
+    ))
 
     # The README / examples quickstart: smallest interesting guessing game.
     register(ScenarioSpec(
@@ -208,6 +234,28 @@ def _register_covert_family() -> None:
              wrappers=({"type": "svm_detection"},))
 
 
+#: The curated defended/* grid: base-scenario slug -> (base id, defense ids).
+DEFENDED_BASES = {
+    "lru-4way": "guessing/lru-4way-disjoint",
+    "plru-4way": "guessing/plcache-baseline-4way",
+    "sa-4set-2way": "guessing/sa-4set-2way",
+}
+DEFENDED_DEFENSES = ("plcache", "keyed-remap", "skew", "way-partition",
+                     "random-fill")
+
+
+def _register_defended_family() -> None:
+    # defended/<base>-<defense>: every curated base scenario crossed with
+    # every built-in defense — the rows of the defense_matrix experiment.
+    for base_slug, base_id in DEFENDED_BASES.items():
+        for defense_id in DEFENDED_DEFENSES:
+            register(base=base_id,
+                     scenario_id=f"defended/{base_slug}-{defense_id}",
+                     description=(f"{base_id} hardened with the {defense_id} "
+                                  "defense (see repro.list_defenses())"),
+                     defense=defense_id)
+
+
 def _register_blackbox_machines() -> None:
     for key, spec in sorted(MACHINES.items()):
         # Tree PLRU (the hidden policy of the 12-way RocketLake L1Ds) only
@@ -235,6 +283,7 @@ def register_builtin_scenarios() -> None:
     _register_known_attacks()
     _register_table4()
     _register_covert_family()
+    _register_defended_family()
     _register_blackbox_machines()
 
 

@@ -2,10 +2,11 @@
 
 A :class:`ScenarioSpec` is a frozen value object that fully describes one
 environment the RL agent can be trained in: the cache (or blackbox machine),
-the guessing-game configuration, the reward shaping, PL-cache locks, and a
-declarative pipeline of detection wrappers.  Specs round-trip losslessly
-through ``to_dict``/``from_dict`` and JSON, so scenarios can be logged,
-sharded across workers, or shipped to remote actors without pickling code.
+the guessing-game configuration, the reward shaping, an optional secure-cache
+defense (see :mod:`repro.defenses`), and a declarative pipeline of detection
+wrappers.  Specs round-trip losslessly through ``to_dict``/``from_dict`` and
+JSON, so scenarios can be logged, sharded across workers, or shipped to
+remote actors without pickling code.
 
 ``ScenarioSpec.build(seed)`` materializes the environment; the registry in
 :mod:`repro.scenarios.registry` resolves scenario ids to specs and is the
@@ -18,7 +19,7 @@ import copy
 import dataclasses
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.cache.config import CacheConfig
 from repro.env.config import EnvConfig, RewardConfig
@@ -36,6 +37,18 @@ def _frozen_mapping(value: Optional[Mapping]) -> Optional[Dict]:
     if value is None:
         return None
     return dict(value)
+
+
+def _normalize_defense(defense) -> Optional[Union[str, Dict]]:
+    """Normalize the ``defense`` field to JSON-safe plain data (id or dict)."""
+    if defense is None or isinstance(defense, str):
+        return defense
+    if hasattr(defense, "to_dict"):  # a DefenseSpec instance
+        return defense.to_dict()
+    if isinstance(defense, Mapping):
+        return dict(defense)
+    raise TypeError(f"defense must be a registered id, a mapping, or a "
+                    f"DefenseSpec; got {type(defense)!r}")
 
 
 @dataclass(frozen=True)
@@ -57,8 +70,12 @@ class ScenarioSpec:
         ``l2_cache``, and ``rewards`` (address ranges, window size, seed, ...).
     rewards:
         :class:`~repro.env.config.RewardConfig` keyword overrides.
-    pl_locked_addresses:
-        Victim lines pre-installed and locked (PL-cache defense).
+    defense:
+        Secure-cache defense protecting the victim: a registered defense id
+        (``"plcache"``, ``"keyed-remap"``, ...), an inline
+        :class:`~repro.defenses.DefenseSpec` mapping, or ``None``.  The
+        defense compiles into cache-config / lock / wrapper fragments at
+        build time (see :mod:`repro.defenses`).
     episode_length:
         Covert-env episode length (``env == "covert"`` only).
     machine / machine_kwargs:
@@ -77,7 +94,7 @@ class ScenarioSpec:
     l2_cache: Optional[Dict] = None
     env_kwargs: Dict = field(default_factory=dict)
     rewards: Dict = field(default_factory=dict)
-    pl_locked_addresses: Tuple[int, ...] = ()
+    defense: Optional[Union[str, Dict]] = None
     episode_length: Optional[int] = None
     machine: Optional[str] = None
     machine_kwargs: Dict = field(default_factory=dict)
@@ -95,8 +112,10 @@ class ScenarioSpec:
         object.__setattr__(self, "env_kwargs", dict(self.env_kwargs))
         object.__setattr__(self, "rewards", dict(self.rewards))
         object.__setattr__(self, "machine_kwargs", dict(self.machine_kwargs))
-        object.__setattr__(self, "pl_locked_addresses",
-                           tuple(int(a) for a in self.pl_locked_addresses))
+        object.__setattr__(self, "defense", _normalize_defense(self.defense))
+        if self.defense is not None and self.env == "blackbox":
+            raise ValueError("defenses apply to simulated caches, not blackbox "
+                             "machines")
         wrappers = tuple(dict(w) for w in self.wrappers)
         for wrapper in wrappers:
             if "type" not in wrapper:
@@ -110,17 +129,26 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data dict (JSON-safe) that losslessly round-trips via from_dict."""
         data = dataclasses.asdict(self)
-        data["pl_locked_addresses"] = list(self.pl_locked_addresses)
+        if isinstance(self.defense, dict):
+            data["defense"] = copy.deepcopy(self.defense)
         data["wrappers"] = [copy.deepcopy(dict(w)) for w in self.wrappers]
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        data = dict(data)
+        # Backward compatibility: specs serialized before the defense layer
+        # carried PL locks as a bespoke field; fold them into the generic
+        # defense (an explicit defense wins over the legacy key).
+        locked = data.pop("pl_locked_addresses", None)
+        if locked and data.get("defense") is None:
+            data["defense"] = {"defense_id": "plcache", "kind": "plcache",
+                               "params": {"locked_addresses": [int(a) for a in locked]}}
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown ScenarioSpec fields: {sorted(unknown)}")
-        return cls(**dict(data))
+        return cls(**data)
 
     def to_json(self, **json_kwargs) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, **json_kwargs)
@@ -187,17 +215,66 @@ class ScenarioSpec:
     def _rename(self, scenario_id: str) -> "ScenarioSpec":
         return replace(self, scenario_id=scenario_id)
 
+    # ----------------------------------------------------------------- defense
+    def resolved_defense(self):
+        """The :class:`~repro.defenses.DefenseSpec` this scenario applies (or None)."""
+        if self.defense is None:
+            return None
+        from repro.defenses import resolve_defense
+
+        return resolve_defense(self.defense)
+
+    def compiled_defense(self):
+        """The defense compiled against this scenario (or None)."""
+        defense = self.resolved_defense()
+        return None if defense is None else defense.compile(self)
+
+    def supports_soa(self) -> bool:
+        """Capability hook: can N copies collapse into the SoA batched game?
+
+        Consults the environment class (only the plain guessing game is
+        batchable), every wrapper builder's ``supports_soa`` attribute, the
+        defense's :meth:`~repro.defenses.DefenseSpec.supports_soa`, and the
+        compiled cache config (:func:`repro.env.batched_env.config_supports_batching`).
+        """
+        if not _env_class_supports_soa(self.env):
+            return False
+        if any(not getattr(WRAPPER_BUILDERS[w["type"]], "supports_soa", False)
+               for w in self.wrappers):
+            return False
+        try:
+            config = self.build_config()
+        except (TypeError, ValueError, KeyError):
+            return False
+        defense = self.resolved_defense()
+        if defense is not None and not defense.supports_soa(config.cache):
+            return False
+        from repro.env.batched_env import config_supports_batching
+
+        return config_supports_batching(config)
+
     # ---------------------------------------------------------------- building
     def build_config(self, seed: Optional[int] = None) -> EnvConfig:
-        """The :class:`EnvConfig` this spec describes (simulated scenarios only)."""
+        """The :class:`EnvConfig` this spec describes (simulated scenarios only).
+
+        The compiled defense's cache/env fragments are already folded in, so
+        consumers of the config (backends, the SoA engine) see the defended
+        cache without knowing about the defense layer.
+        """
         if self.env == "blackbox":
             raise ValueError("blackbox scenarios have no standalone EnvConfig; "
                              "build() the env and read env.config instead")
+        cache_kwargs = dict(self.cache or {})
         env_kwargs = dict(self.env_kwargs)
+        compiled = self.compiled_defense()
+        if compiled is not None:
+            cache_kwargs = _merge_cache_overrides(cache_kwargs,
+                                                  compiled.cache_overrides)
+            env_kwargs.update(compiled.env_overrides)
         if seed is not None:
             env_kwargs["seed"] = seed
         return EnvConfig(
-            cache=CacheConfig(**(self.cache or {})),
+            cache=CacheConfig(**cache_kwargs),
             l2_cache=CacheConfig(**self.l2_cache) if self.l2_cache else None,
             rewards=RewardConfig(**self.rewards),
             **env_kwargs,
@@ -211,6 +288,7 @@ class ScenarioSpec:
         need — currently ``{"detector": ...}`` for ``svm_detection``.
         """
         runtime = dict(runtime or {})
+        compiled = None
         if self.env == "blackbox":
             from repro.env.hardware_env import BlackboxHardwareEnv
             from repro.hardware.machines import get_machine
@@ -226,21 +304,47 @@ class ScenarioSpec:
             )
         else:
             config = self.build_config(seed=seed)
-            locked = list(self.pl_locked_addresses) or None
+            compiled = self.compiled_defense()
+            locked = list(compiled.locked_addresses) if compiled else None
             if self.env == "covert":
                 from repro.env.covert_env import MultiGuessCovertEnv
 
                 env = MultiGuessCovertEnv(config,
                                           episode_length=self.episode_length or 160,
-                                          pl_locked_addresses=locked)
+                                          pl_locked_addresses=locked or None)
             else:
                 from repro.env.guessing_game import CacheGuessingGameEnv
 
-                env = CacheGuessingGameEnv(config, pl_locked_addresses=locked)
-        for wrapper_spec in self.wrappers:
+                env = CacheGuessingGameEnv(config, pl_locked_addresses=locked or None)
+        wrappers = self.wrappers
+        if compiled is not None and compiled.wrappers:
+            wrappers = wrappers + tuple(dict(w) for w in compiled.wrappers)
+        for wrapper_spec in wrappers:
             params = {k: v for k, v in wrapper_spec.items() if k != "type"}
             env = WRAPPER_BUILDERS[wrapper_spec["type"]](env, params, runtime)
         return env
+
+
+def _merge_cache_overrides(cache_kwargs: Dict, overrides: Mapping) -> Dict:
+    """Merge compiled-defense cache fragments, deep-merging the ``extra`` dict."""
+    merged = dict(cache_kwargs)
+    for key, value in overrides.items():
+        if key == "extra":
+            merged["extra"] = {**dict(merged.get("extra") or {}), **dict(value)}
+        else:
+            merged[key] = value
+    return merged
+
+
+def _env_class_supports_soa(env_type: str) -> bool:
+    """The env class's SoA-batching capability flag (lazily imported)."""
+    if env_type == "guessing":
+        from repro.env.guessing_game import CacheGuessingGameEnv as env_class
+    elif env_type == "covert":
+        from repro.env.covert_env import MultiGuessCovertEnv as env_class
+    else:
+        from repro.env.hardware_env import BlackboxHardwareEnv as env_class
+    return bool(getattr(env_class, "supports_soa_batching", False))
 
 
 # -------------------------------------------------------- wrapper pipeline
