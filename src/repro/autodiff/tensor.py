@@ -14,6 +14,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.determinism import fallback_rng
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
@@ -450,7 +452,7 @@ class Tensor:
     @staticmethod
     def randn(shape, rng: Optional[np.random.Generator] = None,
               scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
 
     @staticmethod

@@ -12,6 +12,8 @@ from typing import Dict, FrozenSet, List, Optional, Type
 
 import numpy as np
 
+from repro.determinism import fallback_rng
+
 
 class ReplacementPolicy:
     """Interface for per-set replacement state."""
@@ -22,7 +24,7 @@ class ReplacementPolicy:
         if num_ways < 1:
             raise ValueError("num_ways must be >= 1")
         self.num_ways = num_ways
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else fallback_rng()
 
     def reset(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

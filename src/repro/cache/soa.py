@@ -145,6 +145,14 @@ class SoACacheEngine:
         self._any_dirty = False
         self._all_ways = np.arange(W, dtype=np.int64)
         self._arange_cache = {}
+        # Hot-path scratch: empty results for n == 0 early-outs, a constant
+        # ones vector for the domain-less partition fallback, and a victim
+        # buffer for the random-policy loop (all sliced to the call width, so
+        # the steady-state access path never allocates).
+        self._empty_bool = np.empty(0, dtype=bool)
+        self._empty_i64 = np.empty(0, dtype=np.int64)
+        self._ones_i64 = np.ones(E, dtype=np.int64)
+        self._victim_scratch = np.empty(E, dtype=np.int64)
 
         # Way-partition defense: per-partition replacement metadata.  The
         # absolute ages array holds partition-relative ages (each partition is
@@ -333,8 +341,8 @@ class SoACacheEngine:
         a = np.asarray(addresses, dtype=np.int64)
         n = e.shape[0]
         if n == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return np.empty(0, dtype=bool), empty, empty, empty
+            empty = self._empty_i64
+            return self._empty_bool, empty, empty, empty
         if collect and not self._track_domains:
             raise ValueError("collect=True requires track_domains=True")
         s, t = self._locate(a, e)
@@ -343,7 +351,7 @@ class SoACacheEngine:
         partition = None
         if self._partitioned:
             # Partition 0 is the victim's; everyone else fills partition 1.
-            partition = (np.ones(n, dtype=np.int64) if domains is None else
+            partition = (self._ones_i64[:n] if domains is None else
                          (np.asarray(domains) != DOMAIN_VICTIM).astype(np.int64))
 
         set_tags = self.tags[e, s]
@@ -365,8 +373,10 @@ class SoACacheEngine:
             if collect:
                 victim_tags = miss_tags[self._arange(me.shape[0]), victim]
                 victim_valid = victim_tags >= 0
-                evicted_addr = np.full(n, -1, dtype=np.int64)
-                evicted_dom = np.full(n, DOMAIN_NONE, dtype=np.int8)
+                # Eviction collection is the parity/bookkeeping path; the env
+                # hot path passes collect=False and never reaches these.
+                evicted_addr = np.full(n, -1, dtype=np.int64)  # repro-lint: disable=hotpath.numpy-alloc
+                evicted_dom = np.full(n, DOMAIN_NONE, dtype=np.int8)  # repro-lint: disable=hotpath.numpy-alloc
                 evicted_addr[miss] = np.where(
                     victim_valid,
                     self._line_addresses(me, ms, victim, victim_tags), -1)
@@ -383,8 +393,8 @@ class SoACacheEngine:
                 self.dirty[me, ms, victim] = False
             way[miss] = victim
         elif collect:
-            evicted_addr = np.full(n, -1, dtype=np.int64)
-            evicted_dom = np.full(n, DOMAIN_NONE, dtype=np.int8)
+            evicted_addr = np.full(n, -1, dtype=np.int64)  # repro-lint: disable=hotpath.numpy-alloc
+            evicted_dom = np.full(n, DOMAIN_NONE, dtype=np.int8)  # repro-lint: disable=hotpath.numpy-alloc
         if write:
             self.dirty[e, s, way] = True
             self._any_dirty = True
@@ -662,7 +672,7 @@ class SoACacheEngine:
             return self._plru_victim(e, s, unlocked)
         # random: must consume each env's generator exactly like
         # RandomPolicy._select_victim (rng.choice over the unlocked ways).
-        victim = np.empty(e.shape[0], dtype=np.int64)
+        victim = self._victim_scratch[:e.shape[0]]
         for i in range(e.shape[0]):
             candidates = (self._all_ways if unlocked is None
                           else np.flatnonzero(unlocked[i]))
@@ -745,7 +755,7 @@ class SoACacheEngine:
         e = np.asarray(env_indices, dtype=np.intp)
         a = np.asarray(addresses, dtype=np.int64)
         if e.shape[0] == 0:
-            return np.empty(0, dtype=bool)
+            return self._empty_bool
         s, t = self._locate(a, e)
         match = self.tags[e, s] == t[:, None]
         resident = match.any(axis=1)

@@ -14,7 +14,7 @@ by id wherever a scenario takes a ``defense``::
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.defenses.spec import DefenseSpec
 
@@ -26,7 +26,7 @@ _REGISTRY: Dict[str, DefenseSpec] = {}
 def register_defense(spec: Optional[DefenseSpec] = None, *,
                      base: Optional[DefenseLike] = None,
                      defense_id: Optional[str] = None, overwrite: bool = False,
-                     **fields) -> DefenseSpec:
+                     **fields: Any) -> DefenseSpec:
     """Register a defense and return its spec.
 
     Three calling styles, mirroring :func:`repro.scenarios.register`:

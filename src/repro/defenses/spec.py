@@ -96,17 +96,17 @@ class DefenseSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DefenseSpec":
-        data = dict(data)
+        payload = dict(data)
         # Inline fragments may omit the id; the kind doubles as one.
-        if "defense_id" not in data and "kind" in data:
-            data["defense_id"] = data["kind"]
+        if "defense_id" not in payload and "kind" in payload:
+            payload["defense_id"] = payload["kind"]
         known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
+        unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown DefenseSpec fields: {sorted(unknown)}")
-        return cls(**data)
+        return cls(**payload)
 
-    def to_json(self, **json_kwargs) -> str:
+    def to_json(self, **json_kwargs: Any) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, **json_kwargs)
 
     @classmethod
@@ -114,13 +114,13 @@ class DefenseSpec:
         return cls.from_dict(json.loads(text))
 
     # -------------------------------------------------------------- derivation
-    def derive(self, defense_id: str, **params) -> "DefenseSpec":
+    def derive(self, defense_id: str, **params: Any) -> "DefenseSpec":
         """A renamed copy with parameter overrides merged in."""
         merged = {**self.params, **params}
         return dataclasses.replace(self, defense_id=defense_id, params=merged)
 
     # ------------------------------------------------------------- compilation
-    def compile(self, scenario=None) -> CompiledDefense:
+    def compile(self, scenario: Any = None) -> CompiledDefense:
         """Compile into the fragments the scenario layer applies.
 
         ``scenario`` (a :class:`~repro.scenarios.ScenarioSpec`, duck-typed) is

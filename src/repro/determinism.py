@@ -1,0 +1,42 @@
+"""Process-wide seeded fallback Generator for optional-``rng`` APIs.
+
+Many constructors take ``rng: Optional[np.random.Generator] = None`` for
+convenience (quick scripts, tests, REPL use).  The old fallback was
+``np.random.default_rng()`` — fresh OS entropy per call, so any code path
+that hit it silently lost reproducibility.  :func:`fallback_rng` replaces
+that: one lazily created Generator, seeded with a fixed constant, shared by
+every call site in the process.  Sharing one stream (rather than seeding a
+fresh Generator per call) keeps consecutive fallback draws distinct — two
+bare ``Linear`` layers built back-to-back still get different weights — while
+the whole sequence stays bit-reproducible run to run.
+
+Code on the training path should never reach this: trainers and envs thread
+explicitly seeded Generators from their configs.  The fallback exists so the
+*unconfigured* path is deterministic too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Seed for the process-wide fallback stream.  Fixed by design: the point is
+#: that unseeded use is reproducible, not configurable.
+FALLBACK_SEED = 0
+
+_fallback: Optional[np.random.Generator] = None
+
+
+def fallback_rng() -> np.random.Generator:
+    """The process-wide seeded Generator used when no ``rng`` is passed."""
+    global _fallback
+    if _fallback is None:
+        _fallback = np.random.default_rng(FALLBACK_SEED)
+    return _fallback
+
+
+def reset_fallback_rng() -> None:
+    """Rewind the fallback stream to its initial state (for tests)."""
+    global _fallback
+    _fallback = None

@@ -6,6 +6,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.determinism import fallback_rng
+
 
 class Discrete:
     """A discrete space with ``n`` actions: {0, 1, ..., n-1}."""
@@ -19,7 +21,7 @@ class Discrete:
         return isinstance(value, (int, np.integer)) and 0 <= int(value) < self.n
 
     def sample(self, rng: Optional[np.random.Generator] = None) -> int:
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         return int(rng.integers(self.n))
 
     def __repr__(self) -> str:
@@ -44,7 +46,7 @@ class Box:
                 and bool(np.all(value <= self.high + 1e-9)))
 
     def sample(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         return rng.uniform(self.low, self.high, size=self.shape)
 
     def __repr__(self) -> str:

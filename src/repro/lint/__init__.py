@@ -1,0 +1,33 @@
+"""``repro.lint`` — AST-based invariant checker for the repro codebase.
+
+The reproduction's correctness contracts — seeded-Generator determinism,
+allocation-free ``*_into`` hot paths, frozen JSON-round-trippable specs,
+honest registry capability claims, config-driven dtypes — are enforced here
+at lint time rather than discovered as flaky parity failures.  See the rule
+catalogue (``python -m repro.lint --list-rules``) and the README's
+"Invariants & static analysis" section.
+
+Programmatic entry point::
+
+    from repro.lint import run_lint
+
+    report = run_lint()          # full repo + registry pass + baseline
+    assert report.ok, [f.format() for f in report.findings]
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import LintReport, lint_file, run_lint
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES, check_registries, rule_catalogue
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "check_registries",
+    "lint_file",
+    "rule_catalogue",
+    "run_lint",
+]

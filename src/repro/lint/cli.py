@@ -1,0 +1,96 @@
+"""``python -m repro.lint`` — the CI gate.
+
+Usage::
+
+    python -m repro.lint                 # full run: roots + registries + baseline
+    python -m repro.lint src/repro/cache # just these paths (AST rules only)
+    python -m repro.lint --format json   # machine-readable findings
+    python -m repro.lint --list-rules    # the rule catalogue with rationales
+
+Exit status 0 means clean; 1 means findings (printed as
+``path:line: rule: message  [hint: ...]``); 2 means usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import LintReport, run_lint
+from repro.lint.rules import rule_catalogue
+from repro.lint.suppressions import META_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the repro codebase")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: the "
+                             "configured roots, plus the registry pass)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="override the suppressions baseline file")
+    parser.add_argument("--no-registry", action="store_true",
+                        help="skip the registry-honesty pass")
+    parser.add_argument("--registry", action="store_true",
+                        help="force the registry-honesty pass even with "
+                             "explicit paths")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def list_rules() -> str:
+    catalogue = dict(rule_catalogue())
+    catalogue.update(META_RULES)
+    width = max(len(rule) for rule in catalogue)
+    lines = [f"{rule:<{width}}  {why}" for rule, why in sorted(catalogue.items())]
+    return "\n".join(lines)
+
+
+def render(report: LintReport, fmt: str) -> str:
+    if fmt == "json":
+        payload = {
+            "ok": report.ok,
+            "files_checked": report.files_checked,
+            "findings": [f.to_dict() for f in report.findings],
+            "suppressed": len(report.suppressed),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    if report.ok:
+        return (f"repro.lint: clean ({report.files_checked} files, "
+                f"{len(report.suppressed)} sanctioned suppressions)")
+    lines = [f.format() for f in report.findings]
+    lines.append(f"repro.lint: {len(report.findings)} finding(s) in "
+                 f"{report.files_checked} files")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    if args.no_registry and args.registry:
+        print("--registry and --no-registry are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    registry_pass: Optional[bool] = None
+    if args.no_registry:
+        registry_pass = False
+    elif args.registry:
+        registry_pass = True
+    paths: Optional[List[Path]] = list(args.paths) or None
+    report = run_lint(paths, registry_pass=registry_pass,
+                      baseline_path=args.baseline)
+    print(render(report, args.format))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""The lint engine: file discovery, rule dispatch, suppression accounting.
+
+One :func:`run_lint` call walks the configured roots (or explicit paths),
+parses each Python file once, runs every AST rule over the shared
+:class:`~repro.lint.rules.base.FileContext`, applies inline suppressions,
+reconciles them against the checked-in baseline, and (on full runs) appends
+the registry-honesty findings.  The result is a :class:`LintReport` the CLI
+renders as text or JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, repo_root
+from repro.lint.findings import Finding
+from repro.lint.rules import check_registries, instantiate_rules
+from repro.lint.rules.base import FileContext
+from repro.lint.suppressions import (SuppressedFinding, apply_suppressions,
+                                     check_baseline, load_baseline,
+                                     parse_suppressions)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[SuppressedFinding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+        self.findings.sort()
+
+
+def discover_files(root: Path, config: LintConfig,
+                   paths: Optional[Sequence[Path]] = None) -> List[Path]:
+    """The Python files to lint: explicit paths, or the configured roots."""
+    if paths:
+        out: List[Path] = []
+        for path in paths:
+            if path.is_dir():
+                out.extend(sorted(path.rglob("*.py")))
+            else:
+                out.append(path)
+        return out
+    files: List[Path] = []
+    for rel in config.roots:
+        files.extend(sorted((root / rel).rglob("*.py")))
+    return files
+
+
+def lint_file(path: Path, root: Path,
+              config: LintConfig) -> tuple[List[Finding], List[SuppressedFinding]]:
+    """Run every AST rule over one file; returns (active, suppressed)."""
+    try:
+        rel = str(path.resolve().relative_to(root))
+    except ValueError:
+        rel = str(path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(path=rel, line=exc.lineno or 1, rule="lint.parse-error",
+                          message=f"file does not parse: {exc.msg}")
+        return [finding], []
+    lines = source.splitlines()
+    ctx = FileContext(path=path, rel=rel, tree=tree, lines=lines, config=config)
+    raw: List[Finding] = []
+    for rule in instantiate_rules():
+        raw.extend(rule.check(ctx))
+    return apply_suppressions(sorted(set(raw)), parse_suppressions(lines))
+
+
+def run_lint(paths: Optional[Sequence[Path]] = None, *,
+             config: LintConfig = DEFAULT_CONFIG,
+             root: Optional[Path] = None,
+             registry_pass: Optional[bool] = None,
+             baseline_path: Optional[Path] = None) -> LintReport:
+    """Lint the repo (or explicit ``paths``) and return the report.
+
+    A *full* run (no explicit paths) additionally runs the registry-honesty
+    pass and flags stale baseline entries; a partial run checks only the
+    given files (``registry_pass=True`` forces the honesty pass anyway).
+    """
+    root = (root or repo_root()).resolve()
+    full_run = not paths
+    report = LintReport()
+    for path in discover_files(root, config, paths):
+        active, suppressed = lint_file(path, root, config)
+        report.findings.extend(active)
+        report.suppressed.extend(suppressed)
+        report.files_checked += 1
+
+    baseline = load_baseline(
+        baseline_path if baseline_path is not None else root / config.baseline)
+    report.extend(check_baseline(report.suppressed, baseline, full_run=full_run))
+
+    if registry_pass if registry_pass is not None else full_run:
+        report.extend(check_registries())
+
+    report.findings.sort()
+    return report

@@ -1,0 +1,33 @@
+"""The unit of lint output: one :class:`Finding` per contract violation.
+
+A finding pins a rule violation to a file and line and carries a *fix hint* —
+the one-line answer to "so what do I do about it?".  Findings are plain
+frozen dataclasses so the engine can sort, deduplicate, serialize
+(``--format json``), and compare them in tests without ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation (or meta-finding) at a specific location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """``path:line: rule: message`` with the hint appended when present."""
+        text = f"{self.path}:{self.line}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f"  [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)

@@ -1,0 +1,42 @@
+"""The rule catalogue: every AST rule plus the registry-honesty pass.
+
+``ALL_RULES`` is the engine's source of truth.  New rules register by being
+added to their family module's ``RULES`` tuple — the engine, CLI
+``--list-rules``, and the docs all read from here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.lint.rules import determinism, dtypes, hotpath, specs
+from repro.lint.rules.base import FileContext, Rule
+from repro.lint.rules.honesty import REGISTRY_RULES, check_registries
+
+#: Every per-file AST rule class, grouped by family module.
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    determinism.RULES + hotpath.RULES + specs.RULES + dtypes.RULES
+)
+
+
+def instantiate_rules() -> List[Rule]:
+    """Fresh rule instances for one engine run."""
+    return [cls() for cls in ALL_RULES]
+
+
+def rule_catalogue() -> Dict[str, str]:
+    """``rule_id -> why`` for every rule, AST and registry alike."""
+    catalogue = {cls.rule_id: cls.why for cls in ALL_RULES}
+    catalogue.update(REGISTRY_RULES)
+    return catalogue
+
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "REGISTRY_RULES",
+    "Rule",
+    "check_registries",
+    "instantiate_rules",
+    "rule_catalogue",
+]

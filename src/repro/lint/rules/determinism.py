@@ -1,0 +1,161 @@
+"""Determinism rules: all randomness flows through seeded Generator streams.
+
+The reproduction's core claim — bit-identical attack traces across the object
+and SoA cache engines, and across reruns — dies the moment any module pulls
+entropy from process-global state.  These rules ban the three ways that
+happens: numpy's module-level ``np.random.*`` functions (global
+``RandomState``), the stdlib ``random`` module (global Mersenne Twister), and
+argless ``np.random.default_rng()`` (OS entropy).  Wall-clock ``time.time()``
+is banned alongside them: it is not random, but it leaks non-determinism into
+anything that records or branches on it, and ``time.perf_counter()`` is the
+correct duration clock anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, call_attribute_chain
+
+#: np.random attributes that construct or name seeded generator machinery —
+#: the *only* sanctioned uses of the ``np.random`` namespace.
+_GENERATOR_FACTORIES = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: stdlib ``random`` attributes we flag when called on a ``random`` module
+#: alias.  (Calling *any* attribute of the module is suspect, but enumerating
+#: the API keeps ``random.Random(seed)`` — a seeded instance — legal.)
+_STDLIB_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "seed", "getrandbits", "randbytes",
+})
+
+
+class NumpyModuleRandomRule(Rule):
+    """``np.random.<fn>()`` module-level calls draw from hidden global state."""
+
+    rule_id = "determinism.np-module-call"
+    description = ("numpy module-level random functions (np.random.rand, "
+                   "np.random.choice, ...) use the global RandomState")
+    why = ("global-state draws make results depend on call order across the "
+           "whole process, breaking object-vs-SoA bit parity and rerun "
+           "reproducibility")
+    hint = ("draw from a seeded np.random.Generator passed in via config "
+            "(e.g. config.rng_seed -> np.random.default_rng(seed))")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_attribute_chain(node.func)
+            if len(chain) == 3 and chain[0] in ctx.aliases_of("numpy") \
+                    and chain[1] == "random" \
+                    and chain[2] not in _GENERATOR_FACTORIES:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"module-level np.random.{chain[2]}() draws from numpy's "
+                    "global RandomState"))
+            elif len(chain) == 2 and chain[0] in ctx.aliases_of("numpy.random") \
+                    and chain[1] not in _GENERATOR_FACTORIES:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"module-level numpy.random.{chain[1]}() draws from "
+                    "numpy's global RandomState"))
+        return findings
+
+
+class UnseededRngRule(Rule):
+    """Argless ``default_rng()`` seeds from the OS — different every run."""
+
+    rule_id = "determinism.unseeded-rng"
+    description = "np.random.default_rng() without a seed pulls OS entropy"
+    why = ("an unseeded Generator gives a different stream every process, so "
+           "any code path that falls back to one silently loses reproducibility")
+    hint = ("thread a seeded Generator through, or fall back to "
+            "repro.determinism.fallback_rng() (seeded, process-wide)")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            chain = call_attribute_chain(node.func)
+            is_default_rng = (
+                (len(chain) == 3 and chain[0] in ctx.aliases_of("numpy")
+                 and chain[1:] == ["random", "default_rng"])
+                or (len(chain) == 2 and chain[0] in ctx.aliases_of("numpy.random")
+                    and chain[1] == "default_rng")
+                or (len(chain) == 1
+                    and ctx.from_import(chain[0]) == ("numpy.random", "default_rng"))
+            )
+            if is_default_rng:
+                findings.append(self.finding(
+                    ctx, node, "np.random.default_rng() with no seed pulls OS "
+                               "entropy — unreproducible"))
+        return findings
+
+
+class StdlibRandomRule(Rule):
+    """The stdlib ``random`` module is one shared, implicitly seeded stream."""
+
+    rule_id = "determinism.stdlib-random"
+    description = "stdlib random.* calls share one global Mersenne Twister"
+    why = ("stdlib random state is process-global and seeded from the OS by "
+           "default; even random.seed() cannot isolate concurrent users")
+    hint = "use a seeded np.random.Generator from the config instead"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        random_names = ctx.aliases_of("random")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_attribute_chain(node.func)
+            if len(chain) == 2 and chain[0] in random_names \
+                    and chain[1] in _STDLIB_RANDOM_FNS:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"stdlib random.{chain[1]}() uses the global Mersenne "
+                    "Twister"))
+            elif len(chain) == 1 and ctx.from_import(chain[0])[0] == "random" \
+                    and ctx.from_import(chain[0])[1] in _STDLIB_RANDOM_FNS:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"stdlib random.{ctx.from_import(chain[0])[1]}() uses the "
+                    "global Mersenne Twister"))
+        return findings
+
+
+class WallClockRule(Rule):
+    """``time.time()`` is a stepping wall clock; durations need perf_counter."""
+
+    rule_id = "determinism.wall-clock"
+    description = "time.time() used where a monotonic clock belongs"
+    why = ("time.time() jumps under NTP steps and leaks wall-clock "
+           "non-determinism into recorded results; time.perf_counter() is "
+           "monotonic and higher-resolution")
+    hint = "use time.perf_counter() for durations"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        time_names = ctx.aliases_of("time")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_attribute_chain(node.func)
+            if len(chain) == 2 and chain[0] in time_names and chain[1] == "time":
+                findings.append(self.finding(
+                    ctx, node, "time.time() reads the stepping wall clock"))
+            elif len(chain) == 1 and ctx.from_import(chain[0]) == ("time", "time"):
+                findings.append(self.finding(
+                    ctx, node, "time.time() reads the stepping wall clock"))
+        return findings
+
+
+RULES = (NumpyModuleRandomRule, UnseededRngRule, StdlibRandomRule, WallClockRule)

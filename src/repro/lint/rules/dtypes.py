@@ -1,0 +1,75 @@
+"""Dtype discipline: fused kernels take their float width from config.
+
+The fused PPO losses (:mod:`repro.rl.fused_loss`) and the compiled forward
+pass (:mod:`repro.nn.compiled`) are checked bit-for-bit against the autodiff
+graph.  That parity only holds if every intermediate uses the dtype the
+policy was built with — a stray ``np.float64`` literal silently upcasts one
+term and the parity test starts failing at the last few ulps.  In the strict
+modules (``dtype_strict`` in the lint config) this rule flags hard-coded
+float dtype references: ``np.float32`` / ``np.float64`` / ``np.single`` /
+``np.double`` attribute reads, and ``"float32"`` / ``"float64"`` string
+constants used as ``dtype=`` arguments or ``astype`` targets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, call_attribute_chain
+
+_FLOAT_ATTRS = frozenset({"float32", "float64", "single", "double", "half",
+                          "float16", "longdouble"})
+_FLOAT_STRINGS = frozenset({"float16", "float32", "float64"})
+
+
+class DtypeLiteralRule(Rule):
+    """No hard-coded float dtypes inside the fused numeric kernels."""
+
+    rule_id = "dtype.literal"
+    description = ("hard-coded float dtype (np.float32/np.float64/'float64') "
+                   "in a dtype-strict module")
+    why = ("fused kernels are bit-compared against the autodiff graph; a "
+           "hard-coded width silently upcasts one intermediate and breaks "
+           "parity at the ulp level")
+    hint = "take the dtype from the policy/config (self.dtype) instead"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.config.dtype_strict_for(ctx.rel):
+            return []
+        findings: List[Finding] = []
+        numpy_names = ctx.aliases_of("numpy")
+
+        for node in ast.walk(ctx.tree):
+            # np.float32 / np.double attribute references
+            if isinstance(node, ast.Attribute) and node.attr in _FLOAT_ATTRS \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id in numpy_names:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"hard-coded np.{node.attr} in a dtype-strict module"))
+            elif isinstance(node, ast.Call):
+                chain = call_attribute_chain(node.func)
+                # arr.astype("float64") / np.zeros(..., dtype="float32")
+                string_args: List[ast.Constant] = []
+                if chain and chain[-1] == "astype" and node.args:
+                    arg = node.args[0]
+                    if isinstance(arg, ast.Constant) \
+                            and isinstance(arg.value, str) \
+                            and arg.value in _FLOAT_STRINGS:
+                        string_args.append(arg)
+                for kw in node.keywords:
+                    if kw.arg == "dtype" and isinstance(kw.value, ast.Constant) \
+                            and isinstance(kw.value.value, str) \
+                            and kw.value.value in _FLOAT_STRINGS:
+                        string_args.append(kw.value)
+                for arg in string_args:
+                    findings.append(self.finding(
+                        ctx, arg,
+                        f"hard-coded dtype string {arg.value!r} in a "
+                        "dtype-strict module"))
+        return findings
+
+
+RULES = (DtypeLiteralRule,)

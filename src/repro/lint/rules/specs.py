@@ -1,0 +1,127 @@
+"""Spec immutability rules: ``*Spec`` dataclasses are frozen value objects.
+
+Scenario/defense/experiment specs are the repo's addressing scheme — they
+round-trip through JSON, key registries, and name run artifacts.  A mutable
+spec means a registry entry can drift from the artifact written under its id.
+Two rules keep them honest: every ``*Spec`` dataclass must declare
+``frozen=True``, and nothing outside a spec class may assign attributes on a
+spec instance (the sanctioned mutation paths are ``dataclasses.replace`` and
+the spec's own ``with_overrides``; ``object.__setattr__`` is legal only
+inside a ``*Spec`` class's ``__post_init__``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, call_attribute_chain
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+    """The @dataclass / @dataclasses.dataclass decorator node, if present."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        chain = call_attribute_chain(target) or (
+            [target.id] if isinstance(target, ast.Name) else [])
+        if chain and chain[-1] == "dataclass":
+            return dec
+    return None
+
+
+def _is_frozen(dec: ast.AST) -> bool:
+    if not isinstance(dec, ast.Call):
+        return False
+    for kw in dec.keywords:
+        if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _spec_classes(tree: ast.Module) -> Iterable[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name.endswith("Spec"):
+            yield node
+
+
+def _nodes_under_spec_classes(tree: ast.Module) -> Set[int]:
+    inside: Set[int] = set()
+    for cls in _spec_classes(tree):
+        for sub in ast.walk(cls):
+            inside.add(id(sub))
+    return inside
+
+
+def _looks_like_spec_name(name: str) -> bool:
+    return name == "spec" or name.lower().endswith("spec")
+
+
+class SpecNotFrozenRule(Rule):
+    """Every ``*Spec`` dataclass must be declared ``frozen=True``."""
+
+    rule_id = "spec.not-frozen"
+    description = "*Spec dataclass without frozen=True"
+    why = ("specs key registries and run artifacts; a mutable spec lets a "
+           "registry entry drift from the artifacts written under its id")
+    hint = "declare @dataclass(frozen=True) and mutate via replace()/with_overrides()"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for cls in _spec_classes(ctx.tree):
+            dec = _dataclass_decorator(cls)
+            if dec is None:
+                continue  # not a dataclass — the convention targets dataclasses
+            if not _is_frozen(dec):
+                findings.append(self.finding(
+                    ctx, cls,
+                    f"dataclass {cls.name} matches the *Spec convention but "
+                    "is not frozen=True"))
+        return findings
+
+
+class SpecMutationRule(Rule):
+    """No attribute assignment on spec instances outside the spec class."""
+
+    rule_id = "spec.mutation"
+    description = "attribute assignment on a spec instance"
+    why = ("even when frozen=True blocks it at runtime, object.__setattr__ "
+           "and pre-freeze assignment patterns bypass the contract silently")
+    hint = "use dataclasses.replace(spec, ...) or spec.with_overrides(...)"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        in_spec_class = _nodes_under_spec_classes(ctx.tree)
+
+        for node in ast.walk(ctx.tree):
+            if id(node) in in_spec_class:
+                continue
+            # spec.field = value  /  spec.field += value
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and _looks_like_spec_name(target.value.id):
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"assignment to {target.value.id}.{target.attr} "
+                        "mutates a spec instance"))
+            # object.__setattr__(spec, ...) outside a *Spec class
+            if isinstance(node, ast.Call):
+                chain = call_attribute_chain(node.func)
+                if chain == ["object", "__setattr__"] and node.args:
+                    first = node.args[0]
+                    if isinstance(first, ast.Name) \
+                            and _looks_like_spec_name(first.id):
+                        findings.append(self.finding(
+                            ctx, node,
+                            f"object.__setattr__({first.id}, ...) bypasses "
+                            "the frozen-spec contract"))
+        return findings
+
+
+RULES = (SpecNotFrozenRule, SpecMutationRule)

@@ -1,0 +1,159 @@
+"""Inline suppressions and the checked-in baseline that keeps them honest.
+
+A finding can be suppressed at its line with::
+
+    some_call()  # repro-lint: disable=hotpath.numpy-alloc
+
+Disabling a whole family (``disable=hotpath``) or several rules
+(``disable=a,b``) also works.  But a suppression alone is not enough: every
+suppression must be *sanctioned* by an entry in the checked-in baseline
+(``src/repro/lint/baseline.json``), which records the file, the rule, how
+many suppressions of that rule the file is allowed, and a one-line
+justification.  Two meta-rules enforce the pairing:
+
+* ``lint.unsanctioned-suppression`` — an inline suppression with no (or an
+  exhausted) baseline entry.  Adding a suppression forces a reviewed baseline
+  edit with a written reason.
+* ``lint.stale-baseline`` — a baseline entry whose suppressions no longer
+  exist in the code.  Fixing a violation forces the baseline to shrink, so
+  the debt ledger never overstates.
+
+The net effect: the suppression count is pinned in both directions and every
+entry carries its justification in version control.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([\w.\-, ]+)")
+
+RULE_UNSANCTIONED = "lint.unsanctioned-suppression"
+RULE_STALE = "lint.stale-baseline"
+
+#: Meta-rule catalogue entries (merged into ``--list-rules``).
+META_RULES: Dict[str, str] = {
+    RULE_UNSANCTIONED: ("every inline suppression is backed by a baseline "
+                        "entry with a written justification"),
+    RULE_STALE: ("baseline entries shrink when their suppressions are fixed, "
+                 "so the debt ledger never overstates"),
+}
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, Tuple[str, ...]]:
+    """``line_number -> (rule-or-family, ...)`` for every inline suppression."""
+    found: Dict[int, Tuple[str, ...]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = tuple(part.strip() for part in match.group(1).split(",")
+                          if part.strip())
+            if rules:
+                found[lineno] = rules
+    return found
+
+
+def matches(pattern: str, rule_id: str) -> bool:
+    """Whether a suppression pattern covers a rule (exact id or family prefix)."""
+    return rule_id == pattern or rule_id.startswith(pattern + ".")
+
+
+@dataclass(frozen=True)
+class SuppressedFinding:
+    """A finding silenced by an inline suppression — kept for accounting."""
+
+    finding: Finding
+    pattern: str
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    suppressions: Dict[int, Tuple[str, ...]],
+) -> Tuple[List[Finding], List[SuppressedFinding]]:
+    """Split findings into (still-active, suppressed-with-pattern)."""
+    active: List[Finding] = []
+    suppressed: List[SuppressedFinding] = []
+    for finding in findings:
+        pattern = next(
+            (p for p in suppressions.get(finding.line, ())
+             if matches(p, finding.rule)), None)
+        if pattern is None:
+            active.append(finding)
+        else:
+            suppressed.append(SuppressedFinding(finding, pattern))
+    return active, suppressed
+
+
+# ------------------------------------------------------------------ baseline
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One sanctioned suppression bucket: path x rule, with a count + reason."""
+
+    path: str
+    rule: str
+    count: int
+    reason: str
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Read the baseline file; a missing file means an empty baseline."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    entries = []
+    for raw in data.get("suppressions", []):
+        entries.append(BaselineEntry(
+            path=str(raw["path"]), rule=str(raw["rule"]),
+            count=int(raw.get("count", 1)), reason=str(raw.get("reason", ""))))
+    return entries
+
+
+def check_baseline(
+    suppressed: Iterable[SuppressedFinding],
+    baseline: List[BaselineEntry],
+    *,
+    full_run: bool,
+) -> List[Finding]:
+    """Reconcile actual suppressions against the sanctioned baseline.
+
+    Over-budget (or unknown) suppressions are always errors.  Under-budget
+    entries — debt that has been paid down without shrinking the ledger — are
+    only errors on a *full* run, because a partial run (explicit file
+    arguments) cannot see every suppression.
+    """
+    actual: Dict[Tuple[str, str], List[SuppressedFinding]] = {}
+    for item in suppressed:
+        actual.setdefault((item.finding.path, item.finding.rule), []).append(item)
+
+    allowed: Dict[Tuple[str, str], BaselineEntry] = {
+        (entry.path, entry.rule): entry for entry in baseline}
+
+    findings: List[Finding] = []
+    for key, items in sorted(actual.items()):
+        path, rule = key
+        entry = allowed.get(key)
+        budget = entry.count if entry else 0
+        if len(items) > budget:
+            for item in items[budget:]:
+                findings.append(Finding(
+                    path=path, line=item.finding.line, rule=RULE_UNSANCTIONED,
+                    message=(f"suppression of {rule} is not sanctioned by the "
+                             f"baseline (allowed {budget}, found {len(items)})"),
+                    hint=("add a baseline entry with a one-line reason, or fix "
+                          "the violation")))
+    if full_run:
+        for key, entry in sorted(allowed.items()):
+            used = len(actual.get(key, []))
+            if used < entry.count:
+                findings.append(Finding(
+                    path=entry.path, line=1, rule=RULE_STALE,
+                    message=(f"baseline allows {entry.count} suppressions of "
+                             f"{entry.rule} but only {used} exist"),
+                    hint="shrink or remove the baseline entry"))
+    return findings

@@ -27,6 +27,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.determinism import fallback_rng
+
+
 
 class UnsupportedArchitecture(Exception):
     """The policy's module tree has no compiled plan; use the graph path."""
@@ -278,7 +281,7 @@ class CompiledForward:
         if deterministic:
             actions = np.argmax(log_probs, axis=-1).astype(np.int64)
         else:
-            rng = rng or np.random.default_rng()
+            rng = rng if rng is not None else fallback_rng()
             np.exp(log_probs, out=dist.exp)
             np.cumsum(dist.exp, axis=-1, out=dist.cumulative)
             dist.cumulative[..., -1] = 1.0

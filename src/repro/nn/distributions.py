@@ -6,8 +6,10 @@ from typing import Optional
 
 import numpy as np
 
+
 from repro.autodiff import functional as F
 from repro.autodiff.tensor import Tensor
+from repro.determinism import fallback_rng
 
 
 class Categorical:
@@ -38,7 +40,7 @@ class Categorical:
         return np.exp(self._log_probs.data)
 
     def sample(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         probabilities = self.probs
         cumulative = probabilities.cumsum(axis=-1)
         cumulative[..., -1] = 1.0

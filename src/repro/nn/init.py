@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.determinism import fallback_rng
+
 
 def orthogonal(shape: tuple, gain: float = 1.0,
                rng: np.random.Generator | None = None) -> np.ndarray:
     """Orthogonal initialization, the standard choice for PPO policies."""
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else fallback_rng()
     rows, cols = shape
     flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
     q, r = np.linalg.qr(flat)
@@ -20,7 +22,7 @@ def orthogonal(shape: tuple, gain: float = 1.0,
 
 def xavier_uniform(shape: tuple, rng: np.random.Generator | None = None) -> np.ndarray:
     """Glorot/Xavier uniform initialization."""
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else fallback_rng()
     fan_in, fan_out = shape[0], shape[1]
     limit = np.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-limit, limit, size=shape)

@@ -6,8 +6,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+
 from repro.autodiff import functional as F
 from repro.autodiff.tensor import Tensor
+from repro.determinism import fallback_rng
 from repro.nn.init import orthogonal
 from repro.nn.module import Module, Parameter
 
@@ -77,7 +79,7 @@ class Embedding(Module):
     def __init__(self, num_embeddings: int, embedding_dim: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(rng.standard_normal((num_embeddings, embedding_dim)) * 0.02,

@@ -16,6 +16,8 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
+
+from repro.determinism import fallback_rng
 from repro.rl.gae import compute_gae
 
 
@@ -116,7 +118,7 @@ class RolloutBuffer:
         """
         if self.advantages is None or self.returns is None:
             raise RuntimeError("finalize() must be called before iterating minibatches")
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         total = self.horizon * self.num_envs
         observations = self.observations.reshape(total, self.observation_size)
         actions = self.actions.reshape(total)

@@ -67,6 +67,7 @@ class FusedPPOLoss:
             raise UnsupportedArchitecture("fused PPO kernel expects a linear first layer")
         self._steps = steps
         self._workspaces: Dict[int, dict] = {}
+        self._one = np.ones((), dtype=self.dtype)
 
     # ------------------------------------------------------------- workspace
     def _workspace(self, batch: int) -> dict:
@@ -104,7 +105,9 @@ class FusedPPOLoss:
                 ws[name] = np.empty(shape, dtype=dtype)
             ws["batch_index"] = np.arange(batch)
             ws["obs"] = None
-            if self.dtype != np.dtype(np.float64):
+            # Comparison against the rollout buffer's native float64, not a
+            # cast: float64 policies reuse the buffer's arrays as-is.
+            if self.dtype != np.dtype(np.float64):  # repro-lint: disable=dtype.literal
                 ws["obs"] = np.empty((batch, policy.observation_size), dtype=dtype)
             self._workspaces[batch] = ws
         return ws
@@ -199,7 +202,7 @@ class FusedPPOLoss:
 
         # --------------------------------------------------------- backward
         # total = policy_loss + vc * value_loss - ec * entropy; d_total = 1.
-        one = np.ones((), dtype=dtype)
+        one = self._one
         coefficient = np.asarray(entropy_coefficient, dtype=dtype)
         grad_entropy = np.negative(one) * coefficient
         grad_entropy_vector = np.broadcast_to(grad_entropy / count,

@@ -207,7 +207,7 @@ class PPOTrainer:
         where the checkpoint left off (same RNG streams, same env states —
         bit-identical to never having stopped).
         """
-        start = time.time()
+        start = time.perf_counter()
         if self._observations is None:
             self._observations = self.vec_env.reset()
         if self._last_evaluation is None:
@@ -258,7 +258,7 @@ class PPOTrainer:
             final_guess_rate=evaluation["guess_rate"],
             final_episode_length=evaluation["mean_episode_length"],
             final_episode_reward=evaluation["mean_episode_reward"],
-            wall_time_seconds=time.time() - start,
+            wall_time_seconds=time.perf_counter() - start,
             history=self.history,
             extraction=extraction,
         )

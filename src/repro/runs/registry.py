@@ -13,7 +13,7 @@ Mirrors the scenario registry one layer up: experiments are registered once
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.runs.spec import ExperimentSpec
 
@@ -23,7 +23,7 @@ _REGISTRY: Dict[str, ExperimentSpec] = {}
 
 
 def register_experiment(spec: Optional[ExperimentSpec] = None, *,
-                        overwrite: bool = False, **fields) -> ExperimentSpec:
+                        overwrite: bool = False, **fields: Any) -> ExperimentSpec:
     """Register an experiment and return its spec.
 
     Pass either a ready :class:`ExperimentSpec` or keyword fields

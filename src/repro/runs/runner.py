@@ -149,7 +149,7 @@ def _execute_cell(spec_data: Dict, scale_data: Dict, seed: int, index: int,
     cell_path.mkdir(parents=True, exist_ok=True)
     ctx = CellContext(cell_path, checkpoint_every=checkpoint_every,
                       interrupt_after_updates=interrupt_after_updates)
-    started = time.time()
+    started = time.perf_counter()
     row = spec.run_cell(params, scale, seed=seed, ctx=ctx)
     payload = {
         "experiment": spec.experiment_id,
@@ -158,7 +158,7 @@ def _execute_cell(spec_data: Dict, scale_data: Dict, seed: int, index: int,
         "index": index,
         "params": params,
         "row": row,
-        "elapsed_seconds": time.time() - started,
+        "elapsed_seconds": time.perf_counter() - started,
     }
     result_file.write_text(dump_json(payload, indent=2))
     # Round-trip the row through the same JSON path that resume uses, so

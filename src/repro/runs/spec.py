@@ -32,7 +32,7 @@ import dataclasses
 import importlib
 import json
 from dataclasses import dataclass, fields
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.experiments.common import ScaleLike, format_table, resolve_scale
 
@@ -100,7 +100,7 @@ class ExperimentSpec:
             raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
         return cls(**dict(data))
 
-    def to_json(self, **json_kwargs) -> str:
+    def to_json(self, **json_kwargs: Any) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, **json_kwargs)
 
     @classmethod
@@ -108,7 +108,7 @@ class ExperimentSpec:
         return cls.from_dict(json.loads(text))
 
     # -------------------------------------------------------------- expansion
-    def resolve_driver(self):
+    def resolve_driver(self) -> Any:
         """Import and return the driver module."""
         return importlib.import_module(self.driver)
 
@@ -123,7 +123,8 @@ class ExperimentSpec:
                              f"its driver {self.driver!r} defines no cells(scale)")
         return [dict(cell) for cell in cells_fn(resolve_scale(scale))]
 
-    def run_cell(self, params: Mapping, scale: ScaleLike, seed: int = 0, ctx=None) -> Dict:
+    def run_cell(self, params: Mapping, scale: ScaleLike, seed: int = 0,
+                 ctx: Optional[Any] = None) -> Dict:
         """Execute one cell through the driver."""
         return self.resolve_driver().run_cell(dict(params), resolve_scale(scale),
                                               seed=seed, ctx=ctx)

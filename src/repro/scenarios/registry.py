@@ -30,7 +30,7 @@ _REGISTRY: Dict[str, ScenarioSpec] = {}
 
 def register(spec: Optional[ScenarioSpec] = None, *, base: Optional[ScenarioLike] = None,
              scenario_id: Optional[str] = None, overwrite: bool = False,
-             **fields) -> ScenarioSpec:
+             **fields: Any) -> ScenarioSpec:
     """Register a scenario and return its spec.
 
     Three calling styles:
@@ -91,7 +91,7 @@ def resolve(scenario: ScenarioLike) -> ScenarioSpec:
 
 
 def make(scenario: ScenarioLike, seed: Optional[int] = None,
-         detector: Optional[Any] = None, **overrides):
+         detector: Optional[Any] = None, **overrides: Any) -> Any:
     """Build the environment for a scenario, with optional overrides.
 
     ``seed`` seeds the env (falling back to the spec's own seed); ``detector``
@@ -117,11 +117,11 @@ class SpecFactory:
 
     __slots__ = ("spec", "runtime")
 
-    def __init__(self, spec: ScenarioSpec, runtime: Optional[Dict[str, Any]] = None):
+    def __init__(self, spec: ScenarioSpec, runtime: Optional[Dict[str, Any]] = None) -> None:
         self.spec = spec
         self.runtime = dict(runtime or {})
 
-    def __call__(self, seed: int):
+    def __call__(self, seed: int) -> Any:
         return self.spec.build(seed=seed, runtime=dict(self.runtime))
 
     def __repr__(self) -> str:
@@ -129,7 +129,7 @@ class SpecFactory:
 
 
 def make_factory(scenario: ScenarioLike, detector: Optional[Any] = None,
-                 **overrides) -> Callable[[int], Any]:
+                 **overrides: Any) -> Callable[[int], Any]:
     """A picklable ``factory(seed) -> env`` for trainers and vectorized envs."""
     spec = resolve(scenario)
     if overrides:
@@ -139,7 +139,7 @@ def make_factory(scenario: ScenarioLike, detector: Optional[Any] = None,
 
 
 def as_env_factory(source: Union[ScenarioLike, Callable[[int], Any]],
-                   **overrides) -> Callable[[int], Any]:
+                   **overrides: Any) -> Callable[[int], Any]:
     """Normalize an env source (factory callable, scenario id, or spec) to a factory."""
     if callable(source) and not isinstance(source, ScenarioSpec):
         if overrides:

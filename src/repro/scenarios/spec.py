@@ -19,10 +19,14 @@ import copy
 import dataclasses
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional,
+                    Tuple, Union)
 
 from repro.cache.config import CacheConfig
 from repro.env.config import EnvConfig, RewardConfig
+
+if TYPE_CHECKING:
+    from repro.defenses.spec import CompiledDefense, DefenseSpec
 
 ENV_TYPES = ("guessing", "covert", "blackbox")
 
@@ -39,7 +43,7 @@ def _frozen_mapping(value: Optional[Mapping]) -> Optional[Dict]:
     return dict(value)
 
 
-def _normalize_defense(defense) -> Optional[Union[str, Dict]]:
+def _normalize_defense(defense: Any) -> Optional[Union[str, Dict]]:
     """Normalize the ``defense`` field to JSON-safe plain data (id or dict)."""
     if defense is None or isinstance(defense, str):
         return defense
@@ -136,21 +140,21 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
-        data = dict(data)
+        payload = dict(data)
         # Backward compatibility: specs serialized before the defense layer
         # carried PL locks as a bespoke field; fold them into the generic
         # defense (an explicit defense wins over the legacy key).
-        locked = data.pop("pl_locked_addresses", None)
-        if locked and data.get("defense") is None:
-            data["defense"] = {"defense_id": "plcache", "kind": "plcache",
-                               "params": {"locked_addresses": [int(a) for a in locked]}}
+        locked = payload.pop("pl_locked_addresses", None)
+        if locked and payload.get("defense") is None:
+            payload["defense"] = {"defense_id": "plcache", "kind": "plcache",
+                                  "params": {"locked_addresses": [int(a) for a in locked]}}
         known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
+        unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown ScenarioSpec fields: {sorted(unknown)}")
-        return cls(**data)
+        return cls(**payload)
 
-    def to_json(self, **json_kwargs) -> str:
+    def to_json(self, **json_kwargs: Any) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, **json_kwargs)
 
     @classmethod
@@ -158,7 +162,7 @@ class ScenarioSpec:
         return cls.from_dict(json.loads(text))
 
     # -------------------------------------------------------------- overrides
-    def with_overrides(self, **overrides) -> "ScenarioSpec":
+    def with_overrides(self, **overrides: Any) -> "ScenarioSpec":
         """Return a new spec with overrides applied.
 
         Three kinds of keys are accepted:
@@ -208,7 +212,7 @@ class ScenarioSpec:
                 raise KeyError(f"unknown scenario override {key!r}")
         return replace(self, **updates)
 
-    def derive(self, scenario_id: str, **overrides) -> "ScenarioSpec":
+    def derive(self, scenario_id: str, **overrides: Any) -> "ScenarioSpec":
         """Spec inheritance: a renamed copy with overrides applied."""
         return self.with_overrides(**overrides)._rename(scenario_id)
 
@@ -216,7 +220,7 @@ class ScenarioSpec:
         return replace(self, scenario_id=scenario_id)
 
     # ----------------------------------------------------------------- defense
-    def resolved_defense(self):
+    def resolved_defense(self) -> Optional["DefenseSpec"]:
         """The :class:`~repro.defenses.DefenseSpec` this scenario applies (or None)."""
         if self.defense is None:
             return None
@@ -224,7 +228,7 @@ class ScenarioSpec:
 
         return resolve_defense(self.defense)
 
-    def compiled_defense(self):
+    def compiled_defense(self) -> Optional["CompiledDefense"]:
         """The defense compiled against this scenario (or None)."""
         defense = self.resolved_defense()
         return None if defense is None else defense.compile(self)
@@ -281,18 +285,20 @@ class ScenarioSpec:
         )
 
     def build(self, seed: Optional[int] = None,
-              runtime: Optional[Mapping[str, Any]] = None):
+              runtime: Optional[Mapping[str, Any]] = None) -> Any:
         """Materialize the environment (with its wrapper pipeline applied).
 
         ``runtime`` carries non-serializable collaborators that wrappers may
         need — currently ``{"detector": ...}`` for ``svm_detection``.
         """
         runtime = dict(runtime or {})
-        compiled = None
+        compiled: Optional["CompiledDefense"] = None
+        env: Any
         if self.env == "blackbox":
             from repro.env.hardware_env import BlackboxHardwareEnv
             from repro.hardware.machines import get_machine
 
+            assert self.machine is not None  # enforced in __post_init__
             machine_kwargs = dict(self.machine_kwargs)
             env = BlackboxHardwareEnv(
                 get_machine(self.machine),
@@ -348,13 +354,13 @@ def _env_class_supports_soa(env_type: str) -> bool:
 
 
 # -------------------------------------------------------- wrapper pipeline
-def _build_miss_count(env, params: Dict, runtime: Dict):
+def _build_miss_count(env: Any, params: Dict, runtime: Dict) -> Any:
     from repro.env.wrappers import MissCountDetectionWrapper
 
     return MissCountDetectionWrapper(env)
 
 
-def _build_autocorrelation_penalty(env, params: Dict, runtime: Dict):
+def _build_autocorrelation_penalty(env: Any, params: Dict, runtime: Dict) -> Any:
     from repro.env.wrappers import AutocorrelationPenaltyWrapper
 
     return AutocorrelationPenaltyWrapper(
@@ -364,7 +370,7 @@ def _build_autocorrelation_penalty(env, params: Dict, runtime: Dict):
     )
 
 
-def _build_svm_detection(env, params: Dict, runtime: Dict):
+def _build_svm_detection(env: Any, params: Dict, runtime: Dict) -> Any:
     from repro.env.wrappers import SVMDetectionWrapper
 
     detector = runtime.get("detector")
