@@ -150,15 +150,18 @@ def _train(env_source: EnvSource, scale: ExperimentScale, seed: int,
             "target_accuracy": target_accuracy,
             "ppo_overrides": ppo_overrides or {},
         })
+        # load_training verifies checksums: a corrupt/truncated memo (result
+        # JSON or policy pickle) is quarantined and we fall through to the
+        # checkpoint — the cell transparently re-runs from its last good state.
         memo = ctx.load_training(name)
         if memo is not None:
             return memo, TrainedPolicyHandle(ctx.load_policy(name))
     checkpoint_path = None
     if ctx is not None:
         checkpoint_path = ctx.checkpoint_path(name)
-        if checkpoint_path.exists():
-            trainer = PPOTrainer.load_checkpoint(checkpoint_path)
-        else:
+        # None when absent *or* corrupt (then quarantined): restart from scratch.
+        trainer = ctx.load_trainer_checkpoint(name)
+        if trainer is None:
             trainer = PPOTrainer(env_source, scale.ppo_config(**(ppo_overrides or {})),
                                  hidden_sizes=scale.hidden_sizes, seed=seed)
         trainer.add_update_callback(ctx.checkpoint_callback(checkpoint_path))

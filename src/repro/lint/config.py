@@ -68,6 +68,21 @@ DEFAULT_DTYPE_STRICT: Tuple[str, ...] = (
     "repro/nn/compiled.py",
 )
 
+#: Campaign-artifact code: every persistent file written here must go through
+#: the atomic+checksum helpers in :mod:`repro.runs.artifacts` — a bare
+#: ``write_text``/``write_bytes``/``pickle.dump`` can be torn by a crash and
+#: poison resume.  Entries ending in ``/`` are directory prefixes; others are
+#: file suffixes.
+DEFAULT_ARTIFACT_STRICT: Tuple[str, ...] = (
+    "repro/runs/",
+    "repro/rl/trainer.py",
+)
+
+#: The sanctioned implementation modules of the atomic write path itself.
+DEFAULT_ARTIFACT_EXEMPT: Tuple[str, ...] = (
+    "repro/runs/artifacts.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -82,6 +97,10 @@ class LintConfig:
         default_factory=lambda: dict(DEFAULT_HOT_PATH_REGISTRY))
     #: Module path suffixes under strict dtype discipline.
     dtype_strict: Tuple[str, ...] = DEFAULT_DTYPE_STRICT
+    #: Campaign-artifact code under the atomic-write contract.
+    artifact_strict: Tuple[str, ...] = DEFAULT_ARTIFACT_STRICT
+    #: Modules exempt from it (the atomic helpers themselves).
+    artifact_exempt: Tuple[str, ...] = DEFAULT_ARTIFACT_EXEMPT
     #: Checked-in suppressions baseline (repo-relative).
     baseline: str = "src/repro/lint/baseline.json"
 
@@ -95,6 +114,18 @@ class LintConfig:
     def dtype_strict_for(self, rel_path: str) -> bool:
         """Whether the dtype-discipline rule applies to this module."""
         return any(rel_path.endswith(suffix) for suffix in self.dtype_strict)
+
+    def artifact_strict_for(self, rel_path: str) -> bool:
+        """Whether the atomic-write contract applies to this module."""
+        if any(rel_path.endswith(suffix) for suffix in self.artifact_exempt):
+            return False
+        for entry in self.artifact_strict:
+            if entry.endswith("/"):
+                if entry in rel_path:
+                    return True
+            elif rel_path.endswith(entry):
+                return True
+        return False
 
 
 DEFAULT_CONFIG = LintConfig()

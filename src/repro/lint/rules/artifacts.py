@@ -1,0 +1,81 @@
+"""Artifact durability: campaign state goes through the atomic write path.
+
+Campaign artifacts (manifests, cell results, checkpoints, training memos) are
+what crash recovery resumes from.  A bare ``path.write_text(...)`` /
+``path.write_bytes(...)`` / ``pickle.dump(obj, fh)`` can be torn mid-write by
+a crash or kill, leaving a file that parses half-way or not at all — and a
+torn manifest poisons every later resume of that campaign.  The helpers in
+:mod:`repro.runs.artifacts` write to a hidden temp file, fsync, and
+``os.replace`` into place, then record a SHA-256 sidecar that loads verify.
+
+In the artifact-strict modules (``artifact_strict`` in the lint config —
+``repro/runs/`` and the trainer's checkpoint I/O) this rule flags the
+non-atomic spellings.  The implementation module itself
+(``repro/runs/artifacts.py``) is exempt: it is the sanctioned home of the
+raw writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, call_attribute_chain
+
+#: Path-object write methods with a one-call atomic replacement.
+_WRITE_METHODS = {
+    "write_text": "atomic_write_text",
+    "write_bytes": "atomic_write_bytes",
+}
+
+#: ``module.dump(obj, fh)`` serializers with an atomic replacement.
+_DUMP_MODULES = {
+    "pickle": "atomic_write_pickle",
+    "json": "atomic_write_json",
+}
+
+
+class NonAtomicWriteRule(Rule):
+    """Campaign-artifact modules must not write files non-atomically."""
+
+    rule_id = "artifacts.non-atomic-write"
+    description = ("bare write_text/write_bytes/pickle.dump/json.dump in an "
+                   "artifact-strict module")
+    why = ("a crash mid-write leaves a torn file that poisons campaign "
+           "resume; the repro.runs.artifacts helpers write tmp+fsync+"
+           "os.replace with a checksum sidecar")
+    hint = "use repro.runs.artifacts.atomic_write_* instead"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.config.artifact_strict_for(ctx.rel):
+            return []
+        findings: List[Finding] = []
+        dump_aliases = {alias: module
+                        for module in _DUMP_MODULES
+                        for alias in ctx.aliases_of(module)}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_attribute_chain(node.func)
+            if not chain:
+                continue
+            if chain[-1] in _WRITE_METHODS and len(chain) >= 2:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"non-atomic .{chain[-1]}() in an artifact-strict module",
+                    hint=f"use repro.runs.artifacts."
+                         f"{_WRITE_METHODS[chain[-1]]} instead"))
+            elif len(chain) == 2 and chain[1] == "dump" \
+                    and chain[0] in dump_aliases:
+                module = dump_aliases[chain[0]]
+                findings.append(self.finding(
+                    ctx, node,
+                    f"non-atomic {chain[0]}.dump() in an artifact-strict "
+                    f"module",
+                    hint=f"use repro.runs.artifacts."
+                         f"{_DUMP_MODULES[module]} instead"))
+        return findings
+
+
+RULES = (NonAtomicWriteRule,)

@@ -12,8 +12,6 @@ resume in-flight training after a crash or kill.
 from __future__ import annotations
 
 import dataclasses
-import os
-import pickle
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -296,18 +294,24 @@ class PPOTrainer:
             "world": {"vec_env": self.vec_env, "eval_env": self.eval_env,
                       "observations": self._observations},
         }
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as stream:
-            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        # Imported lazily: repro.runs.context imports this module, so a
+        # module-level import of the (leaf) artifacts helper would cycle.
+        from repro.runs.artifacts import atomic_write_pickle
+
+        atomic_write_pickle(Path(path), payload)
 
     @classmethod
     def load_checkpoint(cls, path) -> "PPOTrainer":
-        """Restore a trainer saved by :meth:`save_checkpoint` (any process)."""
-        with open(path, "rb") as stream:
-            payload = pickle.load(stream)
+        """Restore a trainer saved by :meth:`save_checkpoint` (any process).
+
+        The checkpoint's SHA-256 sidecar is verified first; a corrupt or
+        truncated file is quarantined to ``<name>.corrupt-N`` and
+        :class:`~repro.runs.artifacts.CorruptArtifactError` raised so the
+        caller can restart from its last good state.
+        """
+        from repro.runs.artifacts import load_pickle
+
+        payload = load_pickle(Path(path))
         if payload.get("format") != CHECKPOINT_FORMAT:
             raise ValueError(f"{path} is not a PPOTrainer checkpoint")
         if payload.get("version") != CHECKPOINT_VERSION:

@@ -21,7 +21,17 @@ or from the command line::
     python -m repro results table5 --scale smoke --format json
 """
 
+from repro.runs.artifacts import (
+    CorruptArtifactError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_pickle,
+    atomic_write_text,
+    quarantined_files,
+    stray_tmp_files,
+)
 from repro.runs.context import CampaignInterrupted, CellContext
+from repro.runs.faults import Fault, FaultInjector, FaultPlan, InjectedFault
 from repro.runs.registry import (
     ExperimentLike,
     get_experiment,
@@ -48,8 +58,17 @@ __all__ = [
     "CampaignInterrupted",
     "CampaignResult",
     "CellContext",
+    "CorruptArtifactError",
     "ExperimentLike",
     "ExperimentSpec",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_pickle",
+    "atomic_write_text",
     "campaign_id",
     "campaign_status",
     "get_experiment",
@@ -57,8 +76,10 @@ __all__ = [
     "list_campaigns",
     "list_experiments",
     "load_rows",
+    "quarantined_files",
     "register_experiment",
     "resolve_experiment",
     "run",
+    "stray_tmp_files",
     "unregister_experiment",
 ]

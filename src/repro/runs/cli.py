@@ -58,6 +58,20 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="save a resumable checkpoint every N PPO updates")
     run_parser.add_argument("--format", choices=("table", "json", "none"),
                             default="table", help="how to print the resulting rows")
+    run_parser.add_argument("--lenient", action="store_true",
+                            help="strict=False: return partial rows + per-cell "
+                                 "error records instead of raising on failure")
+    run_parser.add_argument("--max-attempts", type=int, default=1,
+                            help="in-process retries per cell (deterministic "
+                                 "exponential backoff between attempts)")
+    run_parser.add_argument("--retry-backoff", type=float, default=0.25,
+                            help="base backoff seconds (doubles per attempt)")
+    run_parser.add_argument("--timeout", type=float, default=None,
+                            help="per-cell wall-clock budget in seconds, "
+                                 "enforced by a watchdog that kills hung workers")
+    run_parser.add_argument("--fault-plan", default=None,
+                            help="chaos injection: a FaultPlan JSON file path or "
+                                 "inline JSON (also via REPRO_RUN_FAULT_PLAN)")
 
     list_parser = commands.add_parser("list", help="list registered experiments")
     list_parser.add_argument("--scenarios", action="store_true",
@@ -84,12 +98,20 @@ def _command_run(args: argparse.Namespace) -> int:
     try:
         campaign = run(args.experiment, scale=args.scale, seed=args.seed,
                        workers=args.workers, out_dir=args.out_dir, root=args.root,
-                       checkpoint_every=args.checkpoint_every)
+                       checkpoint_every=args.checkpoint_every,
+                       strict=not args.lenient, max_attempts=args.max_attempts,
+                       retry_backoff=args.retry_backoff, timeout=args.timeout,
+                       fault_plan=args.fault_plan)
     except CampaignInterrupted as error:
         print(f"campaign interrupted: {error}", file=sys.stderr)
         print("re-run the same command to resume from the checkpoint",
               file=sys.stderr)
         return 3
+    except RuntimeError as error:
+        print(f"campaign failed: {error}", file=sys.stderr)
+        print("re-run to re-attempt the failed cells, or pass --lenient "
+              "for partial rows", file=sys.stderr)
+        return 1
     if args.format == "table":
         print(campaign.format_results())
     elif args.format == "json":
@@ -98,7 +120,10 @@ def _command_run(args: argparse.Namespace) -> int:
         resumed = f" ({campaign.resumed} cells reused)" if campaign.resumed else ""
         print(f"\n{campaign.completed}/{len(campaign.cells)} cells complete{resumed}; "
               f"artifacts in {campaign.out_dir}")
-    return 0
+        for cell in campaign.errors:
+            print(f"cell {cell['index']} ({cell['slug']}): {cell['status']} — "
+                  f"{cell.get('error')}", file=sys.stderr)
+    return 0 if not campaign.errors else 4
 
 
 def _command_list(args: argparse.Namespace) -> int:
@@ -120,13 +145,15 @@ def _command_status(args: argparse.Namespace) -> int:
     if not campaigns:
         print(f"no campaign artifacts under {args.root}/")
         return 0
-    header = f"{'campaign':<28} {'experiment':<10} {'scale':<6} {'cells':<9} status"
+    header = (f"{'campaign':<28} {'experiment':<14} {'scale':<6} {'cells':<9} "
+              f"{'failed':<7} {'quarantined':<12} status")
     print(header)
     print("-" * len(header))
     for status in campaigns:
         cells = f"{status['completed']}/{status['cells']}"
-        print(f"{status['campaign']:<28} {status['experiment']:<10} "
-              f"{status['scale']:<6} {cells:<9} {status['status']}")
+        print(f"{status['campaign']:<28} {status['experiment']:<14} "
+              f"{status['scale']:<6} {cells:<9} {status['failed']:<7} "
+              f"{status['quarantined']:<12} {status['status']}")
     return 0
 
 

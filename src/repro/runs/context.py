@@ -11,25 +11,46 @@ campaign.  It owns the cell's artifact directory and provides:
   :class:`~repro.rl.trainer.TrainingResult` (JSON), training history (JSONL),
   extracted attack sequences (JSON), and policy (pickle), so a resumed cell
   skips completed trainings entirely;
-* **fault injection** — ``interrupt_after_updates`` kills the campaign right
-  after a checkpoint is written, which is how the resume tests (and the CI
-  kill/resume job) simulate a crash deterministically.
+* **crash safety** — every artifact goes through
+  :mod:`repro.runs.artifacts` (atomic replace + checksum sidecar); a corrupt
+  or truncated artifact found on load is quarantined and the affected
+  training transparently restarts from its last good state (the memoized
+  result, the checkpoint, or — if those are gone too — from scratch);
+* **fault injection** — an attached
+  :class:`~repro.runs.faults.FaultInjector` can kill the cell at checkpoint
+  boundaries, tear or bit-flip just-written artifacts, and stall the cell,
+  which is how the chaos tests (and the CI chaos-matrix job) simulate
+  crashes deterministically.  The legacy ``interrupt_after_updates`` hook is
+  kept as a thin alias for a one-fault kill plan.
 """
 
 from __future__ import annotations
 
-import json
-import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.rl.stats import dump_json, json_ready
+from repro.rl.stats import json_ready
 from repro.rl.trainer import PPOTrainer, TrainingResult
+from repro.runs.artifacts import (
+    CorruptArtifactError,
+    atomic_write_json,
+    atomic_write_pickle,
+    atomic_write_text,
+    load_json,
+    load_pickle,
+    load_text,
+    quarantine,
+    remove_artifact,
+    verify_artifact,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports us)
+    from repro.runs.faults import FaultInjector
 
 
 class CampaignInterrupted(RuntimeError):
-    """Raised by the fault-injection hook after a checkpoint has been saved."""
+    """Raised when a (real or injected) kill aborts a campaign mid-cell."""
 
 
 @dataclass
@@ -39,6 +60,7 @@ class CellContext:
     cell_dir: Path
     checkpoint_every: int = 2
     interrupt_after_updates: Optional[int] = None
+    injector: Optional["FaultInjector"] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.cell_dir = Path(self.cell_dir)
@@ -75,15 +97,18 @@ class CellContext:
         meta = json_ready(meta)
         path = self.meta_path(name)
         if path.exists():
-            existing = json.loads(path.read_text())
-            if existing != meta:
-                raise ValueError(
-                    f"{self.cell_dir} holds artifacts for training {name!r} with "
-                    f"different parameters ({existing} != {meta}); use a fresh "
-                    "directory or delete the old artifacts")
-            return
-        self.cell_dir.mkdir(parents=True, exist_ok=True)
-        path.write_text(dump_json(meta))
+            try:
+                existing = load_json(path)
+            except CorruptArtifactError:
+                existing = None  # quarantined; rewrite below
+            if existing is not None:
+                if existing != meta:
+                    raise ValueError(
+                        f"{self.cell_dir} holds artifacts for training {name!r} with "
+                        f"different parameters ({existing} != {meta}); use a fresh "
+                        "directory or delete the old artifacts")
+                return
+        atomic_write_json(path, meta)
 
     # ------------------------------------------------------------ checkpoints
     def checkpoint_callback(self, path: Path):
@@ -95,34 +120,74 @@ class CellContext:
                 trainer.save_checkpoint(path)
                 raise CampaignInterrupted(
                     f"injected interrupt after update {update} (checkpoint at {path})")
-            if self.checkpoint_every and update % self.checkpoint_every == 0:
+            boundary = bool(self.checkpoint_every
+                            and update % self.checkpoint_every == 0)
+            if self.injector is not None and self.injector.wants_checkpoint(update):
+                boundary = True
+            if boundary:
                 trainer.save_checkpoint(path)
+                if self.injector is not None:
+                    self.injector.on_checkpoint_saved(update, path)
 
         return callback
+
+    def load_trainer_checkpoint(self, name: str = "train") -> Optional[PPOTrainer]:
+        """The in-flight trainer for ``name``, or None.
+
+        A corrupt or truncated checkpoint is quarantined by the loader and
+        treated as absent, so the training transparently restarts from
+        scratch instead of crashing the campaign.
+        """
+        path = self.checkpoint_path(name)
+        if not path.exists():
+            return None
+        try:
+            return PPOTrainer.load_checkpoint(path)
+        except CorruptArtifactError:
+            return None
 
     # ------------------------------------------------------------ memoization
     def save_training(self, name: str, result: TrainingResult, policy) -> None:
         """Persist a finished training's artifacts and drop its checkpoint."""
-        self.cell_dir.mkdir(parents=True, exist_ok=True)
-        self.history_path(name).write_text(result.history.to_jsonl() + "\n")
+        atomic_write_text(self.history_path(name), result.history.to_jsonl() + "\n")
+        self._notify("history", self.history_path(name))
         if result.extraction is not None:
-            self.extraction_path(name).write_text(dump_json(result.extraction.to_dict()))
-        with open(self.policy_path(name), "wb") as stream:
-            pickle.dump(policy, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            atomic_write_json(self.extraction_path(name), result.extraction.to_dict())
+            self._notify("extraction", self.extraction_path(name))
+        atomic_write_pickle(self.policy_path(name), policy)
+        self._notify("policy", self.policy_path(name))
         # The result JSON is written last: its existence marks the training
         # as complete, so a crash between these writes stays resumable.
-        self.result_path(name).write_text(result.to_json())
-        checkpoint = self.checkpoint_path(name)
-        if checkpoint.exists():
-            checkpoint.unlink()
+        atomic_write_text(self.result_path(name), result.to_json())
+        self._notify("training-result", self.result_path(name))
+        remove_artifact(self.checkpoint_path(name))
 
     def load_training(self, name: str) -> Optional[TrainingResult]:
-        """A previously finished training's result, or None."""
+        """A previously finished training's result, or None.
+
+        Corruption anywhere in the memoized pair (result JSON or policy
+        pickle) quarantines the damaged file and returns None — the caller
+        retrains and the fresh artifacts overwrite whatever was left.
+        """
         path = self.result_path(name)
         if not path.exists():
             return None
-        return TrainingResult.from_json(path.read_text())
+        try:
+            result = TrainingResult.from_json(load_text(path))
+        except (CorruptArtifactError, ValueError):
+            if path.exists():  # unparseable but checksum-valid: still unusable
+                quarantine(path, "unparseable TrainingResult")
+            return None
+        policy_path = self.policy_path(name)
+        if policy_path.exists() and verify_artifact(policy_path) is False:
+            quarantine(policy_path, "checksum mismatch")
+            return None
+        return result
 
     def load_policy(self, name: str):
-        with open(self.policy_path(name), "rb") as stream:
-            return pickle.load(stream)
+        return load_pickle(self.policy_path(name))
+
+    # ---------------------------------------------------------------- faults
+    def _notify(self, artifact: str, path: Path) -> None:
+        if self.injector is not None:
+            self.injector.on_artifact_written(artifact, path)

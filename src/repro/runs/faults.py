@@ -1,0 +1,297 @@
+"""Deterministic chaos injection for campaign runs.
+
+A :class:`FaultPlan` is a frozen, JSON-round-trippable description of the
+faults to inject into one campaign — the generalization of the old
+``REPRO_RUN_INTERRUPT_AFTER_UPDATES`` single-kill hook into a real harness.
+Four fault kinds are supported:
+
+``kill``
+    Raise :class:`InjectedFault` (a :class:`CampaignInterrupted`) right after
+    the checkpoint at ``at_update`` is written — the moral equivalent of
+    ``kill -9`` at a checkpoint boundary — or right after a named artifact
+    kind is written when ``at_update`` is None.
+``torn-write``
+    Truncate the just-written artifact to a deterministic prefix (a crash
+    mid-``write``), then kill.  The stale checksum sidecar survives, so the
+    next load detects the tear and quarantines it.
+``bit-flip``
+    Flip one deterministic bit of the just-written artifact (silent media
+    corruption), then kill by default so the corruption is observed on
+    resume.
+``stall``
+    Sleep ``delay_seconds`` at cell start — long enough to trip the
+    runner's per-cell watchdog timeout, which kills and reclaims the hung
+    worker.
+
+Every fault names the cell it targets (``cell=None`` matches any cell, as
+the legacy interrupt hook did) and fires **once** by default: the injector
+records fired faults under ``<out_dir>/faults/`` so a resumed campaign does
+not re-inject them — which is exactly what makes "run under a fault plan,
+then resume to completion" deterministic.  Plans travel three ways:
+``repro.run(fault_plan=...)``, the ``REPRO_RUN_FAULT_PLAN`` environment
+variable (inline JSON or a file path), and ``python -m repro run
+--fault-plan``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.runs.artifacts import atomic_write_json
+from repro.runs.context import CampaignInterrupted
+
+#: Environment variable carrying a fault plan (inline JSON or a file path).
+FAULT_PLAN_ENV_VAR = "REPRO_RUN_FAULT_PLAN"
+
+FAULT_KINDS = ("kill", "torn-write", "bit-flip", "stall")
+
+#: Artifact kinds a fault can target, as the runner/context report them.
+ARTIFACT_KINDS = ("checkpoint", "result", "training-result", "history",
+                  "extraction", "policy", "manifest", "results")
+
+
+class InjectedFault(CampaignInterrupted):
+    """An injected crash: handled exactly like a real mid-campaign kill."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.
+
+    Fields
+    ------
+    kind:
+        ``"kill"`` / ``"torn-write"`` / ``"bit-flip"`` / ``"stall"``.
+    cell:
+        Target cell index; None matches every cell.
+    artifact:
+        Artifact kind the fault targets (see :data:`ARTIFACT_KINDS`).
+    at_update:
+        For ``artifact="checkpoint"``: the PPO update whose checkpoint
+        boundary triggers the fault (a save is forced there if the regular
+        cadence would skip it).  None means "on the next write of
+        ``artifact``".
+    delay_seconds:
+        ``stall`` only: how long the cell hangs.
+    then_kill:
+        For ``torn-write``/``bit-flip``: whether the corruption is followed
+        by a kill (a crash mid-write) or stays silent until the next load.
+    once:
+        Fire a single time across the campaign's whole life (recorded in the
+        artifact tree); False re-fires on every match, which is how the
+        legacy ``interrupt_after_updates`` behaved.
+    """
+
+    kind: str
+    cell: Optional[int] = None
+    artifact: str = "checkpoint"
+    at_update: Optional[int] = None
+    delay_seconds: float = 0.0
+    then_kill: bool = True
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}")
+        if self.artifact not in ARTIFACT_KINDS:
+            raise ValueError(
+                f"unknown artifact kind {self.artifact!r}; choose from {ARTIFACT_KINDS}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Fault":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown Fault fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable set of faults to inject into one campaign."""
+
+    faults: Tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(
+            fault if isinstance(fault, Fault) else Fault.from_dict(fault)
+            for fault in self.faults))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"faults": [fault.to_dict() for fault in self.faults],
+                "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        known = {"faults", "seed"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(faults=tuple(Fault.from_dict(f) for f in data.get("faults", ())),
+                   seed=int(data.get("seed", 0)))
+
+    def to_json(self, **json_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **json_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def interrupt_after_updates(cls, updates: int) -> "FaultPlan":
+        """The legacy hook: every cell is killed at its ``updates`` boundary."""
+        return cls(faults=(Fault(kind="kill", cell=None, artifact="checkpoint",
+                                 at_update=int(updates), once=False),))
+
+
+def resolve_fault_plan(fault_plan: Any = None,
+                       interrupt_after_updates: Optional[int] = None,
+                       environ: Optional[Mapping[str, str]] = None) -> Optional[FaultPlan]:
+    """Normalize the three fault-plan channels into one plan (or None).
+
+    Precedence: explicit ``fault_plan`` argument, then the
+    ``REPRO_RUN_FAULT_PLAN`` environment variable (inline JSON or a path to
+    a JSON file), then the legacy ``interrupt_after_updates`` hook.
+    """
+    environ = os.environ if environ is None else environ
+    if fault_plan is None and environ.get(FAULT_PLAN_ENV_VAR):
+        fault_plan = environ[FAULT_PLAN_ENV_VAR]
+    if fault_plan is not None:
+        if isinstance(fault_plan, FaultPlan):
+            return fault_plan
+        if isinstance(fault_plan, Mapping):
+            return FaultPlan.from_dict(fault_plan)
+        text = str(fault_plan).strip()
+        if not text.startswith("{"):
+            text = Path(text).read_text()
+        return FaultPlan.from_json(text)
+    if interrupt_after_updates is not None:
+        return FaultPlan.interrupt_after_updates(interrupt_after_updates)
+    return None
+
+
+class FaultInjector:
+    """Applies one cell's share of a :class:`FaultPlan` at runtime hooks.
+
+    Fired once-only faults are recorded as files under
+    ``<out_dir>/faults/`` (atomic writes, safe across pool workers), so the
+    injector is crash- and resume-consistent: a fault that killed the
+    campaign stays fired when the campaign is re-run on the same artifact
+    directory.
+    """
+
+    def __init__(self, plan: FaultPlan, out_dir: Optional[Path], cell_index: int):
+        self.plan = plan
+        self.cell_index = int(cell_index)
+        self._state_dir = Path(out_dir) / "faults" if out_dir is not None else None
+        self._fired_in_memory: set = set()
+
+    # ------------------------------------------------------------- matching
+    def _matches_cell(self, fault: Fault) -> bool:
+        return fault.cell is None or fault.cell == self.cell_index
+
+    def _fired(self, index: int) -> bool:
+        if self._state_dir is not None:
+            return (self._state_dir / f"fired-{index:02d}.json").exists()
+        return index in self._fired_in_memory
+
+    def _record(self, index: int, fault: Fault, **detail: Any) -> None:
+        if not fault.once:
+            return
+        if self._state_dir is not None:
+            atomic_write_json(self._state_dir / f"fired-{index:02d}.json",
+                              {"fault": fault.to_dict(), "cell": self.cell_index,
+                               **detail}, checksum=False)
+        else:
+            self._fired_in_memory.add(index)
+
+    def _pending(self, kinds: Iterable[str], artifact: Optional[str] = None,
+                 at_update: Optional[int] = None) -> List[Tuple[int, Fault]]:
+        matched = []
+        for index, fault in enumerate(self.plan.faults):
+            if fault.kind not in kinds or not self._matches_cell(fault):
+                continue
+            if artifact is not None and fault.artifact != artifact:
+                continue
+            if fault.at_update != at_update:
+                continue
+            if fault.once and self._fired(index):
+                continue
+            matched.append((index, fault))
+        return matched
+
+    # ---------------------------------------------------------------- hooks
+    def on_cell_start(self) -> None:
+        """Stall faults: hang the cell long enough to trip the watchdog."""
+        for index, fault in self._pending(("stall",), at_update=None):
+            self._record(index, fault, hook="cell-start")
+            time.sleep(fault.delay_seconds)
+
+    def wants_checkpoint(self, update: int) -> bool:
+        """Whether a checkpoint save must be forced at this update boundary."""
+        return bool(self._pending(("kill", "torn-write", "bit-flip"),
+                                  artifact="checkpoint", at_update=update))
+
+    def on_checkpoint_saved(self, update: int, path: Path) -> None:
+        """Kill/corrupt at a checkpoint boundary.
+
+        ``at_update`` faults fire at their exact boundary (the save is forced
+        there via :meth:`wants_checkpoint`); ``at_update=None`` checkpoint
+        faults fire at the next regular-cadence save.
+        """
+        kinds = ("kill", "torn-write", "bit-flip")
+        matched = (self._pending(kinds, artifact="checkpoint", at_update=update)
+                   + self._pending(kinds, artifact="checkpoint", at_update=None))
+        self._inject(matched, path, f"checkpoint boundary at update {update}")
+
+    def on_artifact_written(self, artifact: str, path: Path) -> None:
+        """Kill/corrupt right after an artifact of ``artifact`` kind lands."""
+        self._inject(self._pending(("kill", "torn-write", "bit-flip"),
+                                   artifact=artifact, at_update=None),
+                     path, f"after writing {artifact} artifact")
+
+    # ------------------------------------------------------------ injection
+    def _inject(self, matched: List[Tuple[int, Fault]], path: Path,
+                where: str) -> None:
+        kill_message = None
+        for index, fault in matched:
+            self._record(index, fault, hook=where, path=str(path))
+            if fault.kind == "torn-write":
+                self._truncate(path)
+            elif fault.kind == "bit-flip":
+                self._flip_bit(path)
+            if fault.kind == "kill" or fault.then_kill:
+                kill_message = (f"injected {fault.kind} fault at {where} "
+                                f"(cell {self.cell_index}, {Path(path).name})")
+        if kill_message is not None:
+            raise InjectedFault(kill_message)
+
+    def _truncate(self, path: Path) -> None:
+        """Deterministically tear the file: keep a seed-derived prefix."""
+        path = Path(path)
+        size = path.stat().st_size
+        keep = 1 + (size // 2 + self.plan.seed) % max(1, size - 1)
+        with open(path, "r+b") as stream:
+            stream.truncate(keep)
+
+    def _flip_bit(self, path: Path) -> None:
+        """Deterministically flip one seed-derived bit of the file."""
+        path = Path(path)
+        size = path.stat().st_size
+        bit = (self.plan.seed * 2654435761 + size) % max(1, size * 8)
+        offset, mask = bit // 8, 1 << (bit % 8)
+        with open(path, "r+b") as stream:
+            stream.seek(offset)
+            byte = stream.read(1)[0]
+            stream.seek(offset)
+            stream.write(bytes((byte ^ mask,)))

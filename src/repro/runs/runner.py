@@ -9,29 +9,52 @@ independent *cells* (one per table row).  The runner:
       runs/table5-smoke/
         manifest.json                 # spec + scale + seed + cell grid
         results.json                  # all rows, written when complete
+        faults/                       # fired fault-injection state (if any)
         cells/
           c00-lru/
             result.json               # the finished row + timing
+            error.json                # structured failure record (if failed)
             run0.result.json          # memoized TrainingResult
             run0.history.jsonl        # per-update training metrics
             run0.extraction.json      # extracted attack sequences
             run0.policy.pkl           # trained policy (for re-evaluation)
             run0.checkpoint.pkl       # only while the training is in flight
 
-* executes cells **serially or across a multiprocessing pool**
+  Every artifact is written atomically with a SHA-256 sidecar
+  (:mod:`repro.runs.artifacts`): a kill mid-write leaves the previous state,
+  and a corrupt/truncated file found on load is quarantined to
+  ``<name>.corrupt-N`` and its cell transparently re-run from its last good
+  checkpoint;
+
+* executes cells **serially or across a pool of worker processes**
   (``workers=N``).  Cells are seeded deterministically and share no state, so
-  serial and parallel execution produce identical rows;
+  serial and parallel execution produce identical rows.  Failed cells do not
+  abort the campaign: each gets a structured ``error.json`` record, bounded
+  in-process retries with deterministic exponential backoff
+  (``max_attempts`` / ``retry_backoff``), and — opt-in via ``timeout`` — a
+  per-cell wall-clock limit enforced by a watchdog that kills and reclaims
+  hung workers.  ``strict=True`` (the default, for CI parity) raises an
+  aggregated error afterwards; ``strict=False`` returns partial rows with
+  per-cell status instead;
 
 * **resumes**: re-invoking ``repro.run()`` on an existing out_dir skips cells
-  whose ``result.json`` exists, and in-flight PPO trainings continue from
-  their checkpoints — bit-identical to a never-interrupted campaign.
+  whose ``result.json`` exists, re-attempts failed/timed-out cells, and
+  in-flight PPO trainings continue from their checkpoints — bit-identical to
+  a never-interrupted campaign;
+
+* **injects faults** on request: a :class:`~repro.runs.faults.FaultPlan`
+  (``fault_plan=`` argument, ``REPRO_RUN_FAULT_PLAN`` env var, or
+  ``--fault-plan`` on the CLI) deterministically kills cells at checkpoint
+  boundaries, tears or bit-flips just-written artifacts, and stalls workers
+  past the watchdog — subsuming the legacy
+  ``REPRO_RUN_INTERRUPT_AFTER_UPDATES`` hook.
 """
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
+import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -39,29 +62,49 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.experiments.common import ExperimentScale, ScaleLike, resolve_scale
-from repro.rl.stats import dump_json
+from repro.runs.artifacts import (
+    CorruptArtifactError,
+    atomic_write_json,
+    clear_quarantine,
+    load_json,
+    quarantine,
+    quarantined_files,
+)
 from repro.runs.context import CampaignInterrupted, CellContext
+from repro.runs.faults import FaultInjector, FaultPlan, resolve_fault_plan
 from repro.runs.registry import ExperimentLike, resolve_experiment
 from repro.runs.spec import ExperimentSpec
 
 MANIFEST_FORMAT = "repro-campaign"
 MANIFEST_VERSION = 1
 
-# Deterministic fault injection for the CI kill/resume job (see CellContext).
+# Legacy deterministic fault injection (now a one-kill FaultPlan; see faults.py).
 INTERRUPT_ENV_VAR = "REPRO_RUN_INTERRUPT_AFTER_UPDATES"
+
+#: Cell outcome statuses the runner reports.
+CELL_STATUSES = ("completed", "cached", "failed", "timeout", "interrupted")
+
+#: Seconds a terminated worker gets to exit before an uncatchable kill.
+_KILL_GRACE_SECONDS = 2.0
 
 
 @dataclass
 class CampaignResult:
-    """What ``repro.run()`` returns: the rows plus the artifact locations."""
+    """What ``repro.run()`` returns: the rows plus the artifact locations.
+
+    With ``strict=False`` the campaign may be *partial*: ``rows`` holds None
+    at the positions of failed/timed-out cells, and each entry of ``cells``
+    carries the cell's ``status`` plus its structured ``error`` record.
+    """
 
     spec: ExperimentSpec
     scale: ExperimentScale
     seed: int
     out_dir: Path
-    rows: List[Dict]
+    rows: List[Optional[Dict]]
     cells: List[Dict] = field(default_factory=list)
     workers: int = 1
+    strict: bool = True
 
     @property
     def experiment_id(self) -> str:
@@ -76,6 +119,21 @@ class CampaignResult:
         """Cells whose finished row was loaded from a previous invocation."""
         return sum(1 for cell in self.cells if cell["status"] == "cached")
 
+    @property
+    def failed(self) -> int:
+        return sum(1 for cell in self.cells
+                   if cell["status"] in ("failed", "timeout", "interrupted"))
+
+    @property
+    def partial(self) -> bool:
+        return self.completed < len(self.cells)
+
+    @property
+    def errors(self) -> List[Dict]:
+        """The per-cell error records of every non-completed cell."""
+        return [cell for cell in self.cells
+                if cell["status"] in ("failed", "timeout", "interrupted")]
+
     def format_results(self) -> str:
         return self.spec.format_rows(self.rows)
 
@@ -86,6 +144,7 @@ class CampaignResult:
             "seed": self.seed,
             "out_dir": str(self.out_dir),
             "workers": self.workers,
+            "strict": self.strict,
             "cells": self.cells,
             "rows": self.rows,
         }
@@ -132,9 +191,26 @@ def _check_manifest(existing: Dict, fresh: Dict, out_dir: Path) -> None:
                 "pass a fresh out_dir or delete the old artifact")
 
 
+# ----------------------------------------------------------- cell execution
+def _load_cached_row(result_file: Path) -> Optional[Dict]:
+    """The verified cached row, or None after quarantining a corrupt file."""
+    if not result_file.exists():
+        return None
+    try:
+        payload = load_json(result_file)
+    except CorruptArtifactError:
+        return None
+    row = payload.get("row") if isinstance(payload, dict) else None
+    if row is None:
+        quarantine(result_file, "result.json without a row")
+        return None
+    return row
+
+
 def _execute_cell(spec_data: Dict, scale_data: Dict, seed: int, index: int,
-                  params: Dict, cell_dir: str, checkpoint_every: int,
-                  interrupt_after_updates: Optional[int]) -> Dict:
+                  params: Dict, cell_dir: str, out_dir: str, checkpoint_every: int,
+                  interrupt_after_updates: Optional[int],
+                  fault_plan: Optional[Dict] = None, **_budget: Any) -> Dict:
     """Run one cell to completion (resuming in-flight training if any).
 
     Takes and returns plain data so it can cross a multiprocessing boundary.
@@ -143,12 +219,17 @@ def _execute_cell(spec_data: Dict, scale_data: Dict, seed: int, index: int,
     scale = ExperimentScale.from_dict(scale_data)
     cell_path = Path(cell_dir)
     result_file = cell_path / "result.json"
-    if result_file.exists():
-        row = json.loads(result_file.read_text())["row"]
-        return {"index": index, "row": row, "status": "cached"}
+    cached = _load_cached_row(result_file)
+    if cached is not None:
+        return {"index": index, "row": cached, "status": "cached"}
     cell_path.mkdir(parents=True, exist_ok=True)
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(FaultPlan.from_dict(fault_plan), Path(out_dir), index)
+        injector.on_cell_start()
     ctx = CellContext(cell_path, checkpoint_every=checkpoint_every,
-                      interrupt_after_updates=interrupt_after_updates)
+                      interrupt_after_updates=interrupt_after_updates,
+                      injector=injector)
     started = time.perf_counter()
     row = spec.run_cell(params, scale, seed=seed, ctx=ctx)
     payload = {
@@ -160,29 +241,232 @@ def _execute_cell(spec_data: Dict, scale_data: Dict, seed: int, index: int,
         "row": row,
         "elapsed_seconds": time.perf_counter() - started,
     }
-    result_file.write_text(dump_json(payload, indent=2))
+    atomic_write_json(result_file, payload, indent=2)
     # Round-trip the row through the same JSON path that resume uses, so
     # serial, parallel, and resumed campaigns return identical rows.
-    return {"index": index, "row": json.loads(result_file.read_text())["row"],
-            "status": "completed"}
+    row = load_json(result_file)["row"]
+    # The cell recovered: retire its failure record and quarantined corpses
+    # (the quarantine.jsonl log keeps the history).
+    (cell_path / "error.json").unlink(missing_ok=True)
+    (cell_path / "error.json.sha256").unlink(missing_ok=True)
+    clear_quarantine(cell_path)
+    if injector is not None:
+        injector.on_artifact_written("result", result_file)
+    return {"index": index, "row": row, "status": "completed"}
+
+
+def _error_record(index: int, error: BaseException, attempt: int,
+                  elapsed: float, status: str = "failed") -> Dict:
+    return {
+        "index": index,
+        "status": status,
+        "error_type": type(error).__name__,
+        "error": f"{type(error).__name__}: {error}",
+        "traceback": traceback.format_exc(),
+        "attempt": attempt,
+        "elapsed_seconds": elapsed,
+    }
+
+
+def _prior_attempts(cell_dir: Path) -> int:
+    """Cumulative attempt count recorded by previous invocations."""
+    error_file = Path(cell_dir) / "error.json"
+    if not error_file.exists():
+        return 0
+    try:
+        return int(load_json(error_file).get("attempt", 0))
+    except (CorruptArtifactError, TypeError, ValueError):
+        return 0
+
+
+def _attempt_cell(payload: Dict) -> Dict:
+    """Run one cell with the bounded retry/backoff budget.
+
+    Returns an outcome dict (never raises for ordinary failures).  Control
+    flow — ``KeyboardInterrupt``/``SystemExit`` — is re-raised so Ctrl-C
+    tears the campaign down promptly; an (injected or real) kill comes back
+    as an ``interrupted`` outcome for the caller to surface.
+    """
+    index = payload["index"]
+    cell_dir = Path(payload["cell_dir"])
+    max_attempts = max(1, int(payload.get("max_attempts", 1)))
+    backoff = float(payload.get("retry_backoff", 0.0))
+    prior = _prior_attempts(cell_dir)
+    record: Dict = {}
+    for attempt in range(1, max_attempts + 1):
+        started = time.perf_counter()
+        try:
+            return _execute_cell(**payload)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except CampaignInterrupted as error:
+            # A (simulated) kill: a real crash would persist nothing, so no
+            # error.json — the cell's checkpoint is what resume picks up.
+            return _error_record(index, error, prior + attempt,
+                                 time.perf_counter() - started,
+                                 status="interrupted")
+        except Exception as error:
+            record = _error_record(index, error, prior + attempt,
+                                   time.perf_counter() - started)
+            atomic_write_json(cell_dir / "error.json", record, indent=2)
+            if attempt < max_attempts:
+                time.sleep(backoff * (2 ** (attempt - 1)))
+    return record
 
 
 def _cell_worker(payload: Dict) -> Dict:
-    """Pool entry point: never raises; errors travel back as data."""
+    """Worker entry point: ordinary errors travel back as data.
+
+    ``KeyboardInterrupt``/``SystemExit`` are deliberately re-raised — turning
+    them into a generic "failed" record would swallow Ctrl-C and leave the
+    pool draining cells nobody wants anymore.
+    """
     try:
-        return _execute_cell(**payload)
-    except CampaignInterrupted as error:
-        return {"index": payload["index"], "status": "interrupted", "error": str(error)}
-    except Exception:
-        return {"index": payload["index"], "status": "failed",
-                "error": traceback.format_exc()}
+        return _attempt_cell(payload)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as error:  # defensive: _attempt_cell already catches
+        return _error_record(payload["index"], error, _prior_attempts(
+            Path(payload["cell_dir"])) + 1, 0.0)
 
 
+def _managed_worker(payload: Dict, outcome_queue) -> None:
+    """Child-process entry: ship the outcome back over the queue."""
+    try:
+        outcome = _cell_worker(payload)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    outcome_queue.put(outcome)
+
+
+def _drain_outcomes(outcome_queue, outcomes: Dict[int, Dict],
+                    timeout: float, until_index: Optional[int] = None) -> None:
+    """Pull every queued outcome; optionally wait up to ``timeout`` for one
+    specific index (a worker that just exited)."""
+    deadline = time.perf_counter() + timeout
+    while True:
+        try:
+            outcome = outcome_queue.get(
+                timeout=max(0.0, deadline - time.perf_counter()))
+        except queue_module.Empty:
+            return
+        outcomes[outcome["index"]] = outcome
+        if until_index is not None and outcome["index"] == until_index:
+            return
+
+
+def _run_worker_pool(pending: List[Dict], workers: int,
+                     timeout: Optional[float]) -> Dict[int, Dict]:
+    """Execute cells across managed worker processes with a watchdog.
+
+    One process per cell (cells are coarse units of work), at most
+    ``workers`` alive at a time.  When ``timeout`` is set, a cell running
+    past its wall-clock budget is killed, recorded as ``timeout``, and its
+    worker slot reclaimed.  Ctrl-C terminates every live worker before
+    re-raising.
+    """
+    ctx = multiprocessing.get_context()
+    outcome_queue = ctx.Queue()
+    outcomes: Dict[int, Dict] = {}
+    waiting = list(pending)
+    running: Dict[int, Dict] = {}  # index -> {process, payload, deadline}
+    try:
+        while waiting or running:
+            while waiting and len(running) < workers:
+                payload = waiting.pop(0)
+                process = ctx.Process(target=_managed_worker,
+                                      args=(payload, outcome_queue))
+                process.start()
+                running[payload["index"]] = {
+                    "process": process, "payload": payload,
+                    "deadline": (time.perf_counter() + timeout
+                                 if timeout is not None else None),
+                }
+            _drain_outcomes(outcome_queue, outcomes, timeout=0.05)
+            now = time.perf_counter()
+            for index in list(running):
+                entry = running[index]
+                process = entry["process"]
+                if index in outcomes:
+                    process.join()
+                    del running[index]
+                    continue
+                if not process.is_alive():
+                    # The worker exited: its outcome (if it posted one) may
+                    # still be in flight through the queue's feeder pipe.
+                    process.join()
+                    _drain_outcomes(outcome_queue, outcomes, timeout=0.2,
+                                    until_index=index)
+                    if index not in outcomes:
+                        outcomes[index] = _worker_death_record(entry)
+                    del running[index]
+                    continue
+                if entry["deadline"] is not None and now > entry["deadline"]:
+                    process.terminate()
+                    process.join(_KILL_GRACE_SECONDS)
+                    if process.is_alive():
+                        process.kill()
+                        process.join()
+                    outcomes[index] = _timeout_record(entry, timeout)
+                    del running[index]
+    except (KeyboardInterrupt, SystemExit):
+        for entry in running.values():
+            entry["process"].terminate()
+        for entry in running.values():
+            entry["process"].join(_KILL_GRACE_SECONDS)
+            if entry["process"].is_alive():
+                entry["process"].kill()
+        raise
+    finally:
+        outcome_queue.close()
+    return outcomes
+
+
+def _timeout_record(entry: Dict, timeout: Optional[float]) -> Dict:
+    """Record a watchdog kill (written by the parent; the child is gone)."""
+    payload = entry["payload"]
+    record = {
+        "index": payload["index"],
+        "status": "timeout",
+        "error_type": "CellTimeout",
+        "error": (f"CellTimeout: cell {payload['index']} exceeded the "
+                  f"{timeout:g}s wall-clock budget and was killed"),
+        "traceback": "",
+        "attempt": _prior_attempts(Path(payload["cell_dir"])) + 1,
+        "elapsed_seconds": timeout,
+    }
+    Path(payload["cell_dir"]).mkdir(parents=True, exist_ok=True)
+    atomic_write_json(Path(payload["cell_dir"]) / "error.json", record, indent=2)
+    return record
+
+
+def _worker_death_record(entry: Dict) -> Dict:
+    """Record a worker that died without reporting (hard crash / OOM kill)."""
+    payload = entry["payload"]
+    exitcode = entry["process"].exitcode
+    record = {
+        "index": payload["index"],
+        "status": "failed",
+        "error_type": "WorkerDied",
+        "error": f"WorkerDied: worker exited with code {exitcode} before reporting",
+        "traceback": "",
+        "attempt": _prior_attempts(Path(payload["cell_dir"])) + 1,
+        "elapsed_seconds": None,
+    }
+    Path(payload["cell_dir"]).mkdir(parents=True, exist_ok=True)
+    atomic_write_json(Path(payload["cell_dir"]) / "error.json", record, indent=2)
+    return record
+
+
+# -------------------------------------------------------------------- run()
 def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
         seed: Optional[int] = None, workers: int = 1,
         out_dir: Optional[os.PathLike] = None, root: os.PathLike = "runs",
         checkpoint_every: int = 2,
-        interrupt_after_updates: Optional[int] = None) -> CampaignResult:
+        interrupt_after_updates: Optional[int] = None, *,
+        strict: bool = True, max_attempts: int = 1, retry_backoff: float = 0.25,
+        timeout: Optional[float] = None,
+        fault_plan: Any = None) -> CampaignResult:
     """Run (or resume) an experiment campaign and return its rows.
 
     Parameters
@@ -198,22 +482,41 @@ def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
         derives its training seeds from it exactly like the legacy
         ``tableN.run(seed=...)`` functions.
     workers:
-        Number of processes for cell execution.  ``workers=1`` runs in-process;
-        results are row-for-row identical either way.
+        Number of processes for cell execution.  ``workers=1`` runs in-process
+        (unless ``timeout`` is set, which needs killable workers); results are
+        row-for-row identical either way.
     out_dir / root:
         Artifact location.  Default: ``<root>/<experiment>-<scale>[-seedN]``.
     checkpoint_every:
         Save a resumable trainer checkpoint every N PPO updates.
-    interrupt_after_updates:
-        Fault injection for tests/CI: abort the campaign right after the
-        checkpoint at that update is written (also settable through the
-        ``REPRO_RUN_INTERRUPT_AFTER_UPDATES`` env var).
+    strict:
+        True (default): raise after the campaign if any cell failed, timed
+        out, or was interrupted — with *every* affected cell aggregated into
+        one message.  False: return partial rows (None at failed positions)
+        plus structured per-cell error records; a later ``repro.run()`` on
+        the same out_dir re-attempts only the non-completed cells.
+    max_attempts / retry_backoff:
+        Bounded in-process retries per cell with deterministic exponential
+        backoff (``retry_backoff * 2**(attempt-1)`` seconds between
+        attempts).  Attempt counts accumulate across invocations in the
+        cell's ``error.json``.
+    timeout:
+        Opt-in per-cell wall-clock budget in seconds, enforced by a watchdog
+        that kills and reclaims hung worker processes (cells then report
+        status ``timeout``).
+    fault_plan:
+        A :class:`~repro.runs.faults.FaultPlan` (or its dict/JSON/path form)
+        of deterministic faults to inject; also settable through the
+        ``REPRO_RUN_FAULT_PLAN`` env var.  Subsumes the legacy
+        ``interrupt_after_updates`` hook (still accepted, also via
+        ``REPRO_RUN_INTERRUPT_AFTER_UPDATES``).
     """
     spec = resolve_experiment(experiment)
     scale = resolve_scale(scale if scale is not None else spec.default_scale)
     seed = spec.base_seed if seed is None else int(seed)
     if interrupt_after_updates is None and os.environ.get(INTERRUPT_ENV_VAR):
         interrupt_after_updates = int(os.environ[INTERRUPT_ENV_VAR])
+    plan = resolve_fault_plan(fault_plan, interrupt_after_updates)
 
     out_dir = (Path(out_dir) if out_dir is not None
                else Path(root) / campaign_id(spec.experiment_id, scale, seed))
@@ -222,10 +525,16 @@ def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
     cells = spec.cells(scale)
     manifest = _manifest_payload(spec, scale, seed, cells)
     manifest_file = out_dir / "manifest.json"
+    existing_manifest = None
     if manifest_file.exists():
-        _check_manifest(json.loads(manifest_file.read_text()), manifest, out_dir)
+        try:
+            existing_manifest = load_json(manifest_file)
+        except CorruptArtifactError:
+            existing_manifest = None  # quarantined; rewrite below
+    if existing_manifest is not None:
+        _check_manifest(existing_manifest, manifest, out_dir)
     else:
-        manifest_file.write_text(dump_json(manifest, indent=2))
+        atomic_write_json(manifest_file, manifest, indent=2)
 
     payloads = [{
         "spec_data": spec.to_dict(),
@@ -234,49 +543,82 @@ def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
         "index": index,
         "params": params,
         "cell_dir": str(_cell_dir(out_dir, index, params)),
+        "out_dir": str(out_dir),
         "checkpoint_every": checkpoint_every,
-        "interrupt_after_updates": interrupt_after_updates,
+        "interrupt_after_updates": None,  # legacy hook rides the fault plan
+        "fault_plan": plan.to_dict() if plan is not None else None,
+        "max_attempts": max_attempts,
+        "retry_backoff": retry_backoff,
     } for index, params in enumerate(cells)]
 
-    # Cached cells cost one JSON read; only dispatch real work to the pool.
-    pending, cached = [], []
+    # Cached cells cost one JSON read; only dispatch real work to workers.
+    # A corrupt cached result quarantines here and the cell re-runs.
+    pending, outcomes = [], {}
     for payload in payloads:
-        target = pending if not (Path(payload["cell_dir"]) / "result.json").exists() else cached
-        target.append(payload)
-    outcomes: Dict[int, Dict] = {}
-    for payload in cached:
-        outcomes[payload["index"]] = _execute_cell(**payload)
+        cached = _load_cached_row(Path(payload["cell_dir"]) / "result.json")
+        if cached is not None:
+            outcomes[payload["index"]] = {"index": payload["index"],
+                                          "row": cached, "status": "cached"}
+        else:
+            pending.append(payload)
 
-    if len(pending) <= 1 or workers <= 1:
-        for payload in pending:
-            outcomes[payload["index"]] = _execute_cell(**payload)
+    use_workers = len(pending) > 1 and workers > 1
+    if timeout is not None and pending:
+        use_workers = True  # the watchdog needs killable worker processes
+    if use_workers:
+        pool_outcomes = _run_worker_pool(pending, max(1, min(workers, len(pending))),
+                                         timeout)
+        outcomes.update(pool_outcomes)
     else:
-        with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
-            for outcome in pool.imap_unordered(_cell_worker, pending):
-                outcomes[outcome["index"]] = outcome
-    _raise_on_failures(outcomes)
+        for payload in pending:
+            outcome = _attempt_cell(payload)
+            outcomes[payload["index"]] = outcome
+            if strict and outcome.get("status") == "interrupted":
+                # A (simulated) crash: stop exactly where a real kill would.
+                raise CampaignInterrupted(outcome["error"])
+    if strict:
+        _raise_on_failures(outcomes)
 
     ordered = [outcomes[index] for index in range(len(cells))]
-    rows = [outcome["row"] for outcome in ordered]
-    cell_summaries = [{"index": index, "params": cells[index],
-                       "slug": cell_slug(index, cells[index]),
-                       "status": ordered[index]["status"]}
-                      for index in range(len(cells))]
-    (out_dir / "results.json").write_text(dump_json({
-        "experiment": spec.experiment_id, "scale": scale.name, "seed": seed,
-        "rows": rows,
-    }, indent=2))
+    rows = [outcome.get("row") for outcome in ordered]
+    cell_summaries = []
+    for index in range(len(cells)):
+        summary = {"index": index, "params": cells[index],
+                   "slug": cell_slug(index, cells[index]),
+                   "status": ordered[index]["status"]}
+        if ordered[index]["status"] not in ("completed", "cached"):
+            summary["error"] = ordered[index].get("error")
+            summary["attempt"] = ordered[index].get("attempt")
+        cell_summaries.append(summary)
+    if all(row is not None for row in rows):
+        atomic_write_json(out_dir / "results.json", {
+            "experiment": spec.experiment_id, "scale": scale.name, "seed": seed,
+            "rows": rows,
+        }, indent=2)
     return CampaignResult(spec=spec, scale=scale, seed=seed, out_dir=out_dir,
-                          rows=rows, cells=cell_summaries, workers=workers)
+                          rows=rows, cells=cell_summaries, workers=workers,
+                          strict=strict)
 
 
 def _raise_on_failures(outcomes: Dict[int, Dict]) -> None:
-    interrupted = [o for o in outcomes.values() if o.get("status") == "interrupted"]
-    failed = [o for o in outcomes.values() if o.get("status") == "failed"]
+    """Aggregate every non-completed cell into one strict-mode error."""
+    interrupted = sorted((o for o in outcomes.values()
+                          if o.get("status") == "interrupted"),
+                         key=lambda o: o["index"])
+    failed = sorted((o for o in outcomes.values()
+                     if o.get("status") in ("failed", "timeout")),
+                    key=lambda o: o["index"])
     if interrupted:
-        raise CampaignInterrupted(interrupted[0]["error"])
+        lines = [f"cell {o['index']}: {o['error']}" for o in interrupted]
+        lines += [f"cell {o['index']} ({o['status']}): {o['error']}" for o in failed]
+        raise CampaignInterrupted(
+            f"{len(interrupted)} cell(s) interrupted"
+            + (f", {len(failed)} failed" if failed else "") + ":\n"
+            + "\n".join(lines))
     if failed:
-        details = "\n\n".join(o["error"] for o in failed)
+        details = "\n\n".join(
+            f"cell {o['index']} ({o['status']}, attempt {o.get('attempt')}): "
+            + (o.get("traceback") or o["error"]) for o in failed)
         raise RuntimeError(f"{len(failed)} campaign cell(s) failed:\n{details}")
 
 
@@ -287,19 +629,25 @@ def campaign_status(out_dir: os.PathLike) -> Optional[Dict[str, Any]]:
     manifest_file = out_dir / "manifest.json"
     if not manifest_file.exists():
         return None
-    manifest = json.loads(manifest_file.read_text())
+    try:
+        manifest = load_json(manifest_file)
+    except CorruptArtifactError:
+        return None
     if manifest.get("format") != MANIFEST_FORMAT:
         return None
     cells = manifest.get("cells", [])
-    done = in_flight = 0
+    done = in_flight = failed = 0
     for cell in cells:
         cell_dir = out_dir / "cells" / cell["slug"]
         if (cell_dir / "result.json").exists():
             done += 1
+        elif (cell_dir / "error.json").exists():
+            failed += 1
         elif any(cell_dir.glob("*.checkpoint.pkl")) or any(cell_dir.glob("*.result.json")):
             # An in-flight checkpoint, or memoized finished trainings of a
             # multi-run cell interrupted between trainings.
             in_flight += 1
+    quarantined = len(quarantined_files(out_dir))
     return {
         "campaign": out_dir.name,
         "out_dir": str(out_dir),
@@ -309,7 +657,10 @@ def campaign_status(out_dir: os.PathLike) -> Optional[Dict[str, Any]]:
         "cells": len(cells),
         "completed": done,
         "in_flight": in_flight,
+        "failed": failed,
+        "quarantined": quarantined,
         "status": ("complete" if done == len(cells)
+                   else "failed" if failed
                    else "in-flight" if (done or in_flight) else "pending"),
     }
 
@@ -339,10 +690,10 @@ def load_rows(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
     manifest_file = out_dir / "manifest.json"
     if not manifest_file.exists():
         raise FileNotFoundError(f"no campaign artifact at {out_dir}")
-    manifest = json.loads(manifest_file.read_text())
+    manifest = load_json(manifest_file)
     rows = []
     for cell in manifest.get("cells", []):
-        result_file = out_dir / "cells" / cell["slug"] / "result.json"
-        if result_file.exists():
-            rows.append(json.loads(result_file.read_text())["row"])
+        row = _load_cached_row(out_dir / "cells" / cell["slug"] / "result.json")
+        if row is not None:
+            rows.append(row)
     return rows

@@ -16,7 +16,12 @@ implementing the cell protocol:
     Compute one row of the experiment.  ``params`` is one grid entry,
     ``scale`` an :class:`~repro.experiments.common.ExperimentScale`, and
     ``ctx`` an optional :class:`repro.runs.CellContext` enabling
-    checkpoint/resume and per-cell artifacts.
+    checkpoint/resume and per-cell artifacts.  Drivers must be
+    deterministic in ``(params, scale, seed)`` — the fault-tolerance
+    machinery relies on a re-run (after a crash, timeout, or quarantined
+    artifact) reproducing the same row bit-for-bit.  Exceptions raised here
+    are recorded per-cell (``error.json``) and retried within the campaign's
+    budget; ``KeyboardInterrupt``/``SystemExit`` always propagate.
 
 ``cells(scale) -> list[dict]`` (optional)
     The grid for scale-dependent experiments (e.g. Table III trains on more
@@ -129,11 +134,24 @@ class ExperimentSpec:
         return self.resolve_driver().run_cell(dict(params), resolve_scale(scale),
                                               seed=seed, ctx=ctx)
 
-    def format_rows(self, rows: List[Dict]) -> str:
-        """Render rows in the paper's layout (driver formatter or generic table)."""
+    def format_rows(self, rows: List[Optional[Dict]]) -> str:
+        """Render rows in the paper's layout (driver formatter or generic table).
+
+        A partial campaign (``strict=False`` with failed cells) carries None
+        at the failed positions; those rows are dropped from the rendering
+        and counted in a trailing note, so driver formatters only ever see
+        real rows.
+        """
+        present = [row for row in rows if row is not None]
+        missing = len(rows) - len(present)
         module = self.resolve_driver()
         formatter = getattr(module, "format_results", None)
         if formatter is not None:
-            return formatter(rows)
-        return format_table(rows, self.columns or sorted({k for row in rows for k in row}),
-                            title=self.description or self.experiment_id)
+            text = formatter(present)
+        else:
+            text = format_table(present,
+                                self.columns or sorted({k for row in present for k in row}),
+                                title=self.description or self.experiment_id)
+        if missing:
+            text += f"\n({missing} cell(s) failed; rows missing — see error.json)"
+        return text

@@ -1,0 +1,45 @@
+"""A tiny configurable experiment driver for the fault-tolerance tests.
+
+Implements the :mod:`repro.runs.spec` cell protocol with behavior chosen per
+cell through ``params["mode"]``:
+
+``ok``
+    Return the row immediately (deterministic in ``seed``).
+``fail``
+    Raise ``RuntimeError`` — unless the ``CHAOS_HEAL`` environment variable
+    is set, which "fixes" the cell so a resume can re-attempt it.
+``flaky``
+    Fail the first ``params["fails"]`` calls (counted in a file inside the
+    cell directory, so the count survives retries and resumes), succeed after.
+``sleep``
+    Sleep ``params["seconds"]`` before returning (for watchdog tests).
+``interrupt``
+    Raise ``KeyboardInterrupt`` — control flow must propagate, never be
+    recorded as an ordinary cell failure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def run_cell(params, scale, seed=0, ctx=None):
+    mode = params.get("mode", "ok")
+    if mode == "fail" and not os.environ.get("CHAOS_HEAL"):
+        raise RuntimeError(f"chaos: cell {params['name']} told to fail")
+    if mode == "flaky":
+        counter = ctx.cell_dir / "chaos-attempts.txt"
+        calls = int(counter.read_text()) if counter.exists() else 0
+        counter.write_text(str(calls + 1))
+        if calls < int(params.get("fails", 1)):
+            raise RuntimeError(f"chaos: flaky call {calls + 1} of cell {params['name']}")
+    if mode == "sleep":
+        time.sleep(float(params.get("seconds", 5.0)))
+    if mode == "interrupt":
+        raise KeyboardInterrupt
+    return {"name": params["name"], "value": seed + int(params.get("offset", 0))}
+
+
+def format_results(rows):
+    return "\n".join(f"{row['name']}={row['value']}" for row in rows)

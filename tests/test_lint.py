@@ -268,6 +268,60 @@ class TestDtypeRules:
         assert not active
 
 
+# ----------------------------------------------------------------- artifacts
+class TestArtifactRules:
+    def test_write_text_in_runs_module_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def save(path, payload):\n"
+            "    path.write_text(payload)\n"),
+            rel="src/repro/runs/runner.py")
+        assert rules_of(active) == {"artifacts.non-atomic-write"}
+
+    def test_write_bytes_in_trainer_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def save_checkpoint(path, blob):\n"
+            "    path.write_bytes(blob)\n"),
+            rel="src/repro/rl/trainer.py")
+        assert rules_of(active) == {"artifacts.non-atomic-write"}
+
+    def test_pickle_dump_in_runs_module_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import pickle\n"
+            "def save(obj, stream):\n"
+            "    pickle.dump(obj, stream)\n"),
+            rel="src/repro/runs/context.py")
+        assert rules_of(active) == {"artifacts.non-atomic-write"}
+
+    def test_json_dump_respects_alias(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import json as j\n"
+            "def save(obj, stream):\n"
+            "    j.dump(obj, stream)\n"),
+            rel="src/repro/runs/cli.py")
+        assert rules_of(active) == {"artifacts.non-atomic-write"}
+
+    def test_atomic_helpers_good(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "from repro.runs.artifacts import atomic_write_json\n"
+            "def save(path, payload):\n"
+            "    atomic_write_json(path, payload)\n"),
+            rel="src/repro/runs/runner.py")
+        assert not active
+
+    def test_artifacts_module_itself_exempt(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def raw(path, text):\n"
+            "    path.write_text(text)\n"),
+            rel="src/repro/runs/artifacts.py")
+        assert not active
+
+    def test_write_text_outside_artifact_modules_good(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def save(path, text):\n"
+            "    path.write_text(text)\n"))
+        assert not active
+
+
 # -------------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_parse_suppressions(self):
@@ -444,13 +498,14 @@ class TestCli:
         assert result.returncode == 0
         for rule in ("determinism.unseeded-rng", "hotpath.numpy-alloc",
                      "spec.not-frozen", "dtype.literal", "registry.soa-claim",
+                     "artifacts.non-atomic-write",
                      "lint.unsanctioned-suppression"):
             assert rule in result.stdout
 
-    def test_catalogue_has_five_families(self):
+    def test_catalogue_has_six_families(self):
         families = {rule.split(".")[0] for rule in rule_catalogue()}
         assert {"determinism", "hotpath", "spec", "dtype",
-                "registry"} <= families
+                "registry", "artifacts"} <= families
 
 
 # ---------------------------------------------------------------------- mypy
