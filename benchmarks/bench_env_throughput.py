@@ -187,6 +187,9 @@ def main() -> None:
     parser.add_argument("--output", default=None,
                         help="perf trajectory JSON (default: BENCH_throughput.json "
                              "at the repo root)")
+    parser.add_argument("--catalog", default=None,
+                        help="also record this entry's metrics in the given "
+                             "campaign-service catalogue (catalog.sqlite)")
     args = parser.parse_args()
     if args.smoke:
         args.steps = min(args.steps, 500)
@@ -199,8 +202,20 @@ def main() -> None:
     output = Path(args.output) if args.output else \
         Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
     append_trajectory(entry, output)
+    if args.catalog:
+        record_in_catalog(entry, Path(args.catalog), output.name)
     print(f"headline speedup at num_envs={entry['headline_num_envs']}: "
           f"{entry['headline_speedup']:.2f}x -> {output}")
+
+
+def record_in_catalog(entry: dict, catalog_file: Path, source: str) -> None:
+    """Mirror one trajectory entry into the campaign-service bench table."""
+    from repro.store.catalog import Catalog
+    from repro.store.ingest import record_bench_entry
+
+    with Catalog(catalog_file) as catalog:
+        rows = record_bench_entry(catalog, entry, source)
+    print(f"recorded {rows} bench row(s) in {catalog_file}")
 
 
 if __name__ == "__main__":

@@ -168,6 +168,16 @@ def append_trajectory(entry: dict, output: Path) -> None:
     output.write_text(json.dumps({"entries": history}, indent=2) + "\n")
 
 
+def record_in_catalog(entry: dict, catalog_file: Path, source: str) -> None:
+    """Mirror one trajectory entry into the campaign-service bench table."""
+    from repro.store.catalog import Catalog
+    from repro.store.ingest import record_bench_entry
+
+    with Catalog(catalog_file) as catalog:
+        rows = record_bench_entry(catalog, entry, source)
+    print(f"recorded {rows} bench row(s) in {catalog_file}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -183,6 +193,9 @@ def main() -> None:
     parser.add_argument("--output", default=None,
                         help="perf trajectory JSON (default: BENCH_train.json "
                              "at the repo root)")
+    parser.add_argument("--catalog", default=None,
+                        help="also record this entry's metrics in the given "
+                             "campaign-service catalogue (catalog.sqlite)")
     args = parser.parse_args()
     if args.smoke:
         args.updates = min(args.updates, 2)
@@ -196,6 +209,8 @@ def main() -> None:
     output = Path(args.output) if args.output else \
         Path(__file__).resolve().parent.parent / "BENCH_train.json"
     append_trajectory(entry, output)
+    if args.catalog:
+        record_in_catalog(entry, Path(args.catalog), output.name)
     speedups = entry["speedups"]
     print(f"fast vs graph: {speedups['updates_fast_vs_graph']:.2f}x updates/s, "
           f"{speedups['env_steps_fast_vs_graph']:.2f}x env-steps/s; "

@@ -75,12 +75,24 @@ DEFAULT_DTYPE_STRICT: Tuple[str, ...] = (
 #: file suffixes.
 DEFAULT_ARTIFACT_STRICT: Tuple[str, ...] = (
     "repro/runs/",
+    "repro/store/",
     "repro/rl/trainer.py",
 )
 
 #: The sanctioned implementation modules of the atomic write path itself.
 DEFAULT_ARTIFACT_EXEMPT: Tuple[str, ...] = (
     "repro/runs/artifacts.py",
+)
+
+#: Campaign-service storage code: every SQL statement here must be a literal
+#: string executed through the shared parameterized connection helper.
+DEFAULT_STORE_STRICT: Tuple[str, ...] = (
+    "repro/store/",
+)
+
+#: The sanctioned home of ``sqlite3.connect`` (pragmas applied exactly once).
+DEFAULT_STORE_EXEMPT: Tuple[str, ...] = (
+    "repro/store/connection.py",
 )
 
 
@@ -101,6 +113,10 @@ class LintConfig:
     artifact_strict: Tuple[str, ...] = DEFAULT_ARTIFACT_STRICT
     #: Modules exempt from it (the atomic helpers themselves).
     artifact_exempt: Tuple[str, ...] = DEFAULT_ARTIFACT_EXEMPT
+    #: Catalogue code under the literal-SQL / shared-connection contract.
+    store_strict: Tuple[str, ...] = DEFAULT_STORE_STRICT
+    #: Modules allowed to call ``sqlite3.connect`` (the helper itself).
+    store_exempt: Tuple[str, ...] = DEFAULT_STORE_EXEMPT
     #: Checked-in suppressions baseline (repo-relative).
     baseline: str = "src/repro/lint/baseline.json"
 
@@ -119,13 +135,28 @@ class LintConfig:
         """Whether the atomic-write contract applies to this module."""
         if any(rel_path.endswith(suffix) for suffix in self.artifact_exempt):
             return False
-        for entry in self.artifact_strict:
-            if entry.endswith("/"):
-                if entry in rel_path:
-                    return True
-            elif rel_path.endswith(entry):
+        return _path_matches(rel_path, self.artifact_strict)
+
+    def store_strict_for(self, rel_path: str) -> bool:
+        """Whether the literal-SQL store contract applies to this module."""
+        if any(rel_path.endswith(suffix) for suffix in self.store_exempt):
+            return False
+        return _path_matches(rel_path, self.store_strict)
+
+    def store_exempt_for(self, rel_path: str) -> bool:
+        """Whether this module is the sanctioned sqlite3.connect site."""
+        return any(rel_path.endswith(suffix) for suffix in self.store_exempt)
+
+
+def _path_matches(rel_path: str, entries: Tuple[str, ...]) -> bool:
+    """Match a repo-relative path against ``dir/`` prefixes or file suffixes."""
+    for entry in entries:
+        if entry.endswith("/"):
+            if entry in rel_path:
                 return True
-        return False
+        elif rel_path.endswith(entry):
+            return True
+    return False
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -78,4 +78,101 @@ class NonAtomicWriteRule(Rule):
         return findings
 
 
-RULES = (NonAtomicWriteRule,)
+#: SQL-executing methods whose statement argument must be a literal.
+_SQL_METHODS = ("execute", "executemany", "executescript", "fetchall",
+                "fetchone", "scalar")
+
+
+class StoreConnectionRule(Rule):
+    """Catalogue SQL goes through the shared parameterized connection helper.
+
+    Two contracts, both anchored on :mod:`repro.store.connection`:
+
+    * ``sqlite3.connect`` may only appear in the connection module — it is
+      where the multi-process pragmas (WAL, busy_timeout, foreign keys) are
+      applied exactly once;
+    * inside ``repro/store/``, every ``execute``/``executemany``/... call
+      takes a **literal SQL string** (or a module-level string constant like
+      the schema DDL) — values travel as bound parameters, never spliced
+      into the SQL text, so a metric name or worker id can't become SQL.
+    """
+
+    rule_id = "artifacts.store-connection"
+    description = ("sqlite3.connect outside repro/store/connection.py, or "
+                   "non-literal SQL in a store module")
+    why = ("a rogue connection skips the WAL/busy-timeout pragmas that make "
+           "one catalogue safe for many processes, and string-built SQL "
+           "turns experiment ids and metric names into injection surface")
+    hint = ("open catalogues via repro.store.connection.connect() and pass "
+            "SQL as a literal with bound parameters")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        exempt = ctx.config.store_exempt_for(ctx.rel)
+        sqlite_aliases = ctx.aliases_of("sqlite3")
+        connect_names = {name for name in ("connect",)
+                         if ctx.from_import(name)[0] == "sqlite3"}
+        store_strict = ctx.config.store_strict_for(ctx.rel)
+        literal_names = _module_string_constants(ctx.tree) if store_strict \
+            else frozenset()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_attribute_chain(node.func)
+            if not chain:
+                continue
+            if not exempt and (
+                    (len(chain) == 2 and chain[0] in sqlite_aliases
+                     and chain[1] == "connect")
+                    or (len(chain) == 1 and chain[0] in connect_names)):
+                findings.append(self.finding(
+                    ctx, node,
+                    "bare sqlite3.connect outside the store connection "
+                    "helper",
+                    hint="use repro.store.connection.connect(path) (WAL + "
+                         "busy_timeout + foreign_keys applied there)"))
+            if store_strict and chain[-1] in _SQL_METHODS and len(chain) >= 2 \
+                    and node.args and not _is_literal_sql(node.args[0],
+                                                          literal_names):
+                findings.append(self.finding(
+                    ctx, node,
+                    f".{chain[-1]}() with a non-literal SQL statement in a "
+                    "store module",
+                    hint="SQL must be a literal string (values go in bound "
+                         "parameters); f-strings, %, +, and .format() on "
+                         "SQL are banned"))
+        return findings
+
+
+def _module_string_constants(tree: ast.Module) -> frozenset:
+    """Module-level names assigned a string literal (e.g. the schema DDL)."""
+    names = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            names.update(t.id for t in node.targets if isinstance(t, ast.Name))
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            names.add(node.target.id)
+    return frozenset(names)
+
+
+def _is_literal_sql(arg: ast.AST, literal_names: frozenset) -> bool:
+    """Whether a SQL argument is a literal (or references a literal constant).
+
+    Accepted: a plain string constant, implicit concatenation of constants
+    (one ``ast.Constant`` after parsing), a conditional between two literal
+    arms, or a bare name bound to a module-level string constant.
+    """
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return True
+    if isinstance(arg, ast.Name) and arg.id in literal_names:
+        return True
+    if isinstance(arg, ast.IfExp):
+        return (_is_literal_sql(arg.body, literal_names)
+                and _is_literal_sql(arg.orelse, literal_names))
+    return False
+
+
+RULES = (NonAtomicWriteRule, StoreConnectionRule)

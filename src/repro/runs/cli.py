@@ -4,21 +4,31 @@ Subcommands
 -----------
 ``run``      run (or resume) an experiment campaign and print its rows
 ``list``     list registered experiments (``--scenarios`` for environments)
-``status``   show completion state of every campaign artifact under a root
+``status``   show completion state of campaigns (catalogue-backed when a
+             ``catalog.sqlite`` exists under the root; tree scan otherwise)
 ``results``  print the rows of an existing campaign artifact
+``submit``   register a campaign in the catalogue + enqueue its cells
+``work``     drain the job queue as one cooperative worker
+``serve``    the campaign service HTTP API (submit/status/stream/query)
+``query``    cross-run aggregation over the catalogue (cells or bench rows)
+``store``    catalogue maintenance (``store ingest`` backfills legacy trees)
 
 Examples::
 
     python -m repro run table5 --scale smoke --workers 4
-    python -m repro run table1 --scale smoke --format json
     python -m repro status --root runs
-    python -m repro results table5 --scale smoke --format table
+    python -m repro submit defense_matrix --scale smoke --root runs
+    python -m repro work --root runs &  python -m repro work --root runs
+    python -m repro serve --root runs --port 8642
+    python -m repro query accuracy --by defense --format table
+    python -m repro store ingest --root runs --bench BENCH_throughput.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.common import SCALES
@@ -81,6 +91,98 @@ def _build_parser() -> argparse.ArgumentParser:
         "status", help="show completion state of campaign artifacts")
     status_parser.add_argument("--root", default="runs",
                                help="artifact root directory (default: runs)")
+    status_parser.add_argument("--no-catalog", action="store_true",
+                               help="force the artifact-tree scan even when a "
+                                    "catalog.sqlite exists under the root")
+
+    submit_parser = commands.add_parser(
+        "submit", help="register a campaign in the catalogue and enqueue "
+                       "its cells for 'repro work' processes")
+    submit_parser.add_argument("experiment", help="registered experiment id")
+    _add_scale_argument(submit_parser)
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument("--root", default="runs")
+    submit_parser.add_argument("--out-dir", default=None,
+                               help="explicit artifact directory (overrides --root)")
+    submit_parser.add_argument("--checkpoint-every", type=int, default=2)
+    submit_parser.add_argument("--max-attempts", type=int, default=1,
+                               help="in-process retries per cell attempt")
+    submit_parser.add_argument("--retry-backoff", type=float, default=0.25)
+    submit_parser.add_argument("--fault-plan", default=None,
+                               help="chaos injection: FaultPlan JSON file or inline JSON")
+
+    work_parser = commands.add_parser(
+        "work", help="drain the job queue as one cooperative worker")
+    work_parser.add_argument("--root", default="runs")
+    work_parser.add_argument("--run-id", default=None,
+                             help="drain only this campaign (default: any)")
+    work_parser.add_argument("--worker-id", default=None,
+                             help="stable worker identity (default: host-pid)")
+    work_parser.add_argument("--lease-ttl", type=int, default=60,
+                             help="lease seconds before a silent worker's cell "
+                                  "is reclaimable (heartbeats extend it)")
+    work_parser.add_argument("--max-job-attempts", type=int, default=3,
+                             help="queue-level claims per cell before it is "
+                                  "marked failed")
+    work_parser.add_argument("--poll", type=float, default=0.5,
+                             help="seconds between claims while others hold leases")
+    work_parser.add_argument("--watch", action="store_true",
+                             help="keep polling for new submissions instead of "
+                                  "exiting when the queue drains")
+    work_parser.add_argument("--max-cells", type=int, default=None,
+                             help="stop after executing this many cells")
+    work_parser.add_argument("--catalog", default=None,
+                             help="explicit catalogue file (default: "
+                                  "<root>/catalog.sqlite)")
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the campaign service HTTP API")
+    serve_parser.add_argument("--root", default="runs")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642,
+                              help="TCP port (0 picks a free one)")
+
+    query_parser = commands.add_parser(
+        "query", help="aggregate a metric across all catalogued runs")
+    query_parser.add_argument("metric", nargs="?", default=None,
+                              help="metric key to aggregate (omit with --list-keys)")
+    query_parser.add_argument("--by", default=None,
+                              help="group key: 'run' (default), any cell "
+                                   "param/row key, or a bench dimension")
+    query_parser.add_argument("--experiment", default=None,
+                              help="restrict to one experiment id")
+    query_parser.add_argument("--scale", default=None,
+                              help="restrict to one scale name")
+    query_parser.add_argument("--bench", action="store_true",
+                              help="aggregate the bench table instead of cell metrics")
+    query_parser.add_argument("--benchmark", default=None,
+                              help="restrict bench rows to one benchmark")
+    query_parser.add_argument("--scenario", default=None,
+                              help="restrict bench rows to one scenario")
+    query_parser.add_argument("--list-keys", action="store_true",
+                              help="list available metric/bench keys and exit")
+    query_parser.add_argument("--format", choices=("table", "json", "csv"),
+                              default="table")
+    query_parser.add_argument("--root", default="runs")
+    query_parser.add_argument("--catalog", default=None,
+                              help="explicit catalogue file (default: "
+                                   "<root>/catalog.sqlite)")
+
+    store_parser = commands.add_parser(
+        "store", help="catalogue maintenance")
+    store_commands = store_parser.add_subparsers(dest="store_command",
+                                                 required=True)
+    ingest_parser = store_commands.add_parser(
+        "ingest", help="backfill the catalogue from legacy runs/ trees "
+                       "and BENCH_*.json files")
+    ingest_parser.add_argument("--root", default="runs",
+                               help="runs tree to ingest (default: runs)")
+    ingest_parser.add_argument("--bench", action="append", default=[],
+                               help="BENCH_*.json trajectory file to ingest "
+                                    "(repeatable; re-ingest replaces its rows)")
+    ingest_parser.add_argument("--catalog", default=None,
+                               help="explicit catalogue file (default: "
+                                    "<root>/catalog.sqlite)")
 
     results_parser = commands.add_parser(
         "results", help="print the rows of an existing campaign artifact")
@@ -141,19 +243,51 @@ def _command_list(args: argparse.Namespace) -> int:
 
 
 def _command_status(args: argparse.Namespace) -> int:
+    from repro.store.connection import catalog_path
+
+    catalog_file = catalog_path(Path(args.root))
+    if catalog_file.exists() and not args.no_catalog:
+        return _catalog_status(catalog_file)
     campaigns = list_campaigns(args.root)
     if not campaigns:
         print(f"no campaign artifacts under {args.root}/")
         return 0
     header = (f"{'campaign':<28} {'experiment':<14} {'scale':<6} {'cells':<9} "
-              f"{'failed':<7} {'quarantined':<12} status")
+              f"{'failed':<7} {'attempts':<9} {'quarantined':<12} status")
     print(header)
     print("-" * len(header))
     for status in campaigns:
         cells = f"{status['completed']}/{status['cells']}"
         print(f"{status['campaign']:<28} {status['experiment']:<14} "
               f"{status['scale']:<6} {cells:<9} {status['failed']:<7} "
-              f"{status['quarantined']:<12} {status['status']}")
+              f"{status['attempts']:<9} {status['quarantined']:<12} "
+              f"{status['status']}")
+    return 0
+
+
+def _catalog_status(catalog_file: Path) -> int:
+    """``repro status`` from the catalogue (runs + per-cell attempt counts)."""
+    from repro.store.catalog import Catalog
+
+    from repro.runs.artifacts import quarantined_files
+
+    with Catalog(catalog_file) as catalog:
+        runs = catalog.list_runs()
+    if not runs:
+        print(f"catalogue {catalog_file} holds no runs yet")
+        return 0
+    header = (f"{'campaign':<28} {'experiment':<14} {'scale':<6} {'cells':<9} "
+              f"{'failed':<7} {'attempts':<9} {'quarantined':<12} status")
+    print(header)
+    print("-" * len(header))
+    for record in runs:
+        cells = f"{record['completed'] or 0}/{record['cells']}"
+        run_dir = catalog_file.parent / record["run_id"]
+        quarantined = len(quarantined_files(run_dir)) if run_dir.is_dir() else 0
+        print(f"{record['run_id']:<28} {record['experiment']:<14} "
+              f"{record['scale']:<6} {cells:<9} {record['failed'] or 0:<7} "
+              f"{record['attempts']:<9} {quarantined:<12} {record['status']}")
+    print(f"\n(catalogue: {catalog_file}; pass --no-catalog for the tree scan)")
     return 0
 
 
@@ -172,8 +306,106 @@ def _command_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.store.worker import submit_campaign
+
+    try:
+        submission = submit_campaign(
+            args.experiment, scale=args.scale, seed=args.seed, root=args.root,
+            out_dir=args.out_dir, checkpoint_every=args.checkpoint_every,
+            max_attempts=args.max_attempts, retry_backoff=args.retry_backoff,
+            fault_plan=args.fault_plan)
+    except (KeyError, ValueError) as error:
+        print(f"submit failed: {error}", file=sys.stderr)
+        return 1
+    print(f"submitted {submission.run_id}: {submission.enqueued} job(s) "
+          f"enqueued over {submission.cells} cell(s); artifacts in "
+          f"{submission.out_dir}")
+    print("drain with: python -m repro work --root "
+          f"{Path(submission.out_dir).parent}")
+    return 0
+
+
+def _command_work(args: argparse.Namespace) -> int:
+    from repro.store.worker import work
+
+    summary = work(root=args.root, run_id=args.run_id,
+                   worker_id=args.worker_id, lease_ttl=args.lease_ttl,
+                   max_job_attempts=args.max_job_attempts,
+                   poll_seconds=args.poll, watch=args.watch,
+                   max_cells=args.max_cells, catalog_file=args.catalog)
+    print(dump_json(summary.to_dict(), indent=2))
+    return 0 if summary.failed == 0 else 4
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.store.server import serve
+
+    serve(Path(args.root), host=args.host, port=args.port)
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from repro.store.catalog import Catalog
+    from repro.store.connection import catalog_path
+    from repro.store.query import (
+        aggregate_bench,
+        aggregate_metric,
+        format_rows,
+        list_bench_keys,
+        list_metric_keys,
+    )
+
+    catalog_file = (Path(args.catalog) if args.catalog is not None
+                    else catalog_path(Path(args.root)))
+    if not catalog_file.exists():
+        print(f"no catalogue at {catalog_file}; run a campaign or "
+              "'repro store ingest' first", file=sys.stderr)
+        return 1
+    with Catalog(catalog_file) as catalog:
+        if args.list_keys:
+            keys = (list_bench_keys(catalog) if args.bench
+                    else list_metric_keys(catalog))
+            print(format_rows(keys, args.format))
+            return 0
+        if args.metric is None:
+            print("a metric is required (or pass --list-keys)", file=sys.stderr)
+            return 2
+        try:
+            if args.bench:
+                rows = aggregate_bench(catalog, args.metric,
+                                       by=args.by or "num_envs",
+                                       benchmark=args.benchmark,
+                                       scenario=args.scenario)
+            else:
+                rows = aggregate_metric(catalog, args.metric,
+                                        by=args.by or "run",
+                                        experiment=args.experiment,
+                                        scale=args.scale)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    title = f"{args.metric} by {args.by or ('num_envs' if args.bench else 'run')}"
+    print(format_rows(rows, args.format, title=title))
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.store.ingest import ingest
+
+    summary = ingest(root=args.root, bench_files=args.bench,
+                     catalog_file=args.catalog)
+    print(f"ingested {summary['runs']} run(s), {summary['cells']} cell "
+          f"record(s), {summary['bench_rows']} bench row(s) into "
+          f"{summary['catalog']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _command_run, "list": _command_list,
-                "status": _command_status, "results": _command_results}
+                "status": _command_status, "results": _command_results,
+                "submit": _command_submit, "work": _command_work,
+                "serve": _command_serve, "query": _command_query,
+                "store": _command_store}
     return handlers[args.command](args)

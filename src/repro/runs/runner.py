@@ -458,6 +458,86 @@ def _worker_death_record(entry: Dict) -> Dict:
     return record
 
 
+def cell_payloads(spec: ExperimentSpec, scale: ExperimentScale, seed: int,
+                  out_dir: Path, cells: List[Dict], checkpoint_every: int = 2,
+                  fault_plan: Optional[FaultPlan] = None,
+                  max_attempts: int = 1,
+                  retry_backoff: float = 0.25) -> List[Dict]:
+    """One plain-data execution payload per cell.
+
+    This is the unit of work both execution backends share: ``repro.run()``
+    dispatches payloads to its worker pool, and the campaign service
+    (:mod:`repro.store.worker`) enqueues the very same payloads as catalogue
+    jobs — which is why a queue drain is bit-identical to a local run.
+    """
+    return [{
+        "spec_data": spec.to_dict(),
+        "scale_data": scale.to_dict(),
+        "seed": seed,
+        "index": index,
+        "params": params,
+        "cell_dir": str(_cell_dir(out_dir, index, params)),
+        "out_dir": str(out_dir),
+        "checkpoint_every": checkpoint_every,
+        "interrupt_after_updates": None,  # legacy hook rides the fault plan
+        "fault_plan": fault_plan.to_dict() if fault_plan is not None else None,
+        "max_attempts": max_attempts,
+        "retry_backoff": retry_backoff,
+    } for index, params in enumerate(cells)]
+
+
+def _record_campaign_in_catalog(catalog_file: Optional[Path], out_dir: Path,
+                                spec: ExperimentSpec, scale: ExperimentScale,
+                                seed: int, cells: List[Dict],
+                                plan: Optional[FaultPlan],
+                                outcomes: Dict[int, Dict]) -> None:
+    """Mirror a campaign's outcomes into the SQLite catalogue.
+
+    The artifact tree already landed (atomically) by the time this runs; the
+    catalogue is the queryable index over it, kept in lock-step by recording
+    every run through here and through the queue workers.
+    """
+    if catalog_file is None:
+        return
+    from repro.store.catalog import Catalog  # late: repro.store imports us
+
+    with Catalog(catalog_file) as catalog:
+        catalog.record_campaign(
+            out_dir.name, spec, scale.name, seed, out_dir, cells,
+            slugs=[cell_slug(index, params)
+                   for index, params in enumerate(cells)],
+            fault_plan=plan.to_dict() if plan is not None else None,
+            manifest_version=MANIFEST_VERSION)
+        for index in sorted(outcomes):
+            outcome = outcomes[index]
+            attempts = outcome.get("attempt")
+            if attempts is None:
+                attempts = _prior_attempts(_cell_dir(out_dir, index,
+                                                     cells[index]))
+            catalog.record_cell(
+                out_dir.name, index, cells[index], outcome["status"],
+                row=outcome.get("row"), error=outcome.get("error"),
+                attempts=int(attempts),
+                elapsed_seconds=outcome.get("elapsed_seconds"))
+
+
+def resolve_catalog_file(catalog: Any, out_dir: Path) -> Optional[Path]:
+    """Where a campaign's catalogue lives.
+
+    ``None`` (the default) puts ``catalog.sqlite`` next to the campaign
+    directory — so every campaign under one ``--root`` shares one catalogue;
+    ``False`` disables catalogue recording; anything else is an explicit
+    path.
+    """
+    if catalog is False:
+        return None
+    if catalog is None:
+        from repro.store.connection import catalog_path
+
+        return catalog_path(out_dir.parent)
+    return Path(catalog)
+
+
 # -------------------------------------------------------------------- run()
 def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
         seed: Optional[int] = None, workers: int = 1,
@@ -466,7 +546,7 @@ def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
         interrupt_after_updates: Optional[int] = None, *,
         strict: bool = True, max_attempts: int = 1, retry_backoff: float = 0.25,
         timeout: Optional[float] = None,
-        fault_plan: Any = None) -> CampaignResult:
+        fault_plan: Any = None, catalog: Any = None) -> CampaignResult:
     """Run (or resume) an experiment campaign and return its rows.
 
     Parameters
@@ -510,6 +590,11 @@ def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
         ``REPRO_RUN_FAULT_PLAN`` env var.  Subsumes the legacy
         ``interrupt_after_updates`` hook (still accepted, also via
         ``REPRO_RUN_INTERRUPT_AFTER_UPDATES``).
+    catalog:
+        Where to mirror the campaign in the SQLite catalogue
+        (:mod:`repro.store`): ``None`` (default) uses
+        ``<out_dir's parent>/catalog.sqlite``, ``False`` disables
+        recording, a path selects an explicit catalogue file.
     """
     spec = resolve_experiment(experiment)
     scale = resolve_scale(scale if scale is not None else spec.default_scale)
@@ -536,20 +621,11 @@ def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
     else:
         atomic_write_json(manifest_file, manifest, indent=2)
 
-    payloads = [{
-        "spec_data": spec.to_dict(),
-        "scale_data": scale.to_dict(),
-        "seed": seed,
-        "index": index,
-        "params": params,
-        "cell_dir": str(_cell_dir(out_dir, index, params)),
-        "out_dir": str(out_dir),
-        "checkpoint_every": checkpoint_every,
-        "interrupt_after_updates": None,  # legacy hook rides the fault plan
-        "fault_plan": plan.to_dict() if plan is not None else None,
-        "max_attempts": max_attempts,
-        "retry_backoff": retry_backoff,
-    } for index, params in enumerate(cells)]
+    payloads = cell_payloads(spec, scale, seed, out_dir, cells,
+                             checkpoint_every=checkpoint_every,
+                             fault_plan=plan, max_attempts=max_attempts,
+                             retry_backoff=retry_backoff)
+    catalog_file = resolve_catalog_file(catalog, out_dir)
 
     # Cached cells cost one JSON read; only dispatch real work to workers.
     # A corrupt cached result quarantines here and the cell re-runs.
@@ -565,17 +641,23 @@ def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
     use_workers = len(pending) > 1 and workers > 1
     if timeout is not None and pending:
         use_workers = True  # the watchdog needs killable worker processes
-    if use_workers:
-        pool_outcomes = _run_worker_pool(pending, max(1, min(workers, len(pending))),
-                                         timeout)
-        outcomes.update(pool_outcomes)
-    else:
-        for payload in pending:
-            outcome = _attempt_cell(payload)
-            outcomes[payload["index"]] = outcome
-            if strict and outcome.get("status") == "interrupted":
-                # A (simulated) crash: stop exactly where a real kill would.
-                raise CampaignInterrupted(outcome["error"])
+    try:
+        if use_workers:
+            pool_outcomes = _run_worker_pool(
+                pending, max(1, min(workers, len(pending))), timeout)
+            outcomes.update(pool_outcomes)
+        else:
+            for payload in pending:
+                outcome = _attempt_cell(payload)
+                outcomes[payload["index"]] = outcome
+                if strict and outcome.get("status") == "interrupted":
+                    # A (simulated) crash: stop exactly where a real kill would.
+                    raise CampaignInterrupted(outcome["error"])
+    finally:
+        # The catalogue mirrors whatever the artifact tree holds — including
+        # the partial state of an interrupted or strict-failing campaign.
+        _record_campaign_in_catalog(catalog_file, out_dir, spec, scale, seed,
+                                    cells, plan, outcomes)
     if strict:
         _raise_on_failures(outcomes)
 
@@ -636,9 +718,14 @@ def campaign_status(out_dir: os.PathLike) -> Optional[Dict[str, Any]]:
     if manifest.get("format") != MANIFEST_FORMAT:
         return None
     cells = manifest.get("cells", [])
-    done = in_flight = failed = 0
+    done = in_flight = failed = attempts = 0
+    cell_attempts: Dict[int, int] = {}
     for cell in cells:
         cell_dir = out_dir / "cells" / cell["slug"]
+        prior = _prior_attempts(cell_dir)
+        if prior:
+            cell_attempts[cell["index"]] = prior
+            attempts += prior
         if (cell_dir / "result.json").exists():
             done += 1
         elif (cell_dir / "error.json").exists():
@@ -658,6 +745,8 @@ def campaign_status(out_dir: os.PathLike) -> Optional[Dict[str, Any]]:
         "completed": done,
         "in_flight": in_flight,
         "failed": failed,
+        "attempts": attempts,
+        "cell_attempts": cell_attempts,
         "quarantined": quarantined,
         "status": ("complete" if done == len(cells)
                    else "failed" if failed

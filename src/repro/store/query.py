@@ -1,0 +1,147 @@
+"""Cross-run aggregation: the engine behind ``repro query``.
+
+Campaign cells land in the catalogue twice — as the verbatim row JSON in
+``cells`` and exploded into key/value pairs in ``metrics`` — so "accuracy by
+defense across all runs" is one self-join: the metric rows provide the
+values, a second metrics alias provides the group key (any param or row
+column: ``defense``, ``scenario``, ``policy``, ...).  The perf trajectory
+ingested from ``BENCH_*.json`` aggregates the same way over the ``bench``
+table's fixed dimensions.
+
+All SQL here is literal and parameterized (the ``artifacts.store-connection``
+contract): group keys never splice into the SQL text — cell grouping joins
+on ``metrics.key = ?``, and bench grouping selects its dimension through a
+CASE over the fixed column whitelist.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.common import format_table
+from repro.rl.stats import dump_json
+from repro.store.catalog import Catalog
+
+#: Columns of an aggregation result row, in rendering order.
+AGGREGATE_COLUMNS = ("group", "n", "mean", "min", "max")
+
+#: The bench table's groupable dimensions (CASE whitelist in the SQL below).
+BENCH_DIMENSIONS = ("scenario", "variant", "num_envs", "dtype", "benchmark",
+                    "source", "timestamp")
+
+
+def aggregate_metric(catalog: Catalog, metric: str, by: str = "run",
+                     experiment: Optional[str] = None,
+                     scale: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Aggregate one numeric cell metric grouped by a param/row key.
+
+    ``by="run"`` groups by campaign; any other value names a metrics key
+    (``"defense"``, ``"scenario"``, ...) whose per-cell value becomes the
+    group.  Cells whose metric is non-numeric are excluded.
+    """
+    if by == "run":
+        rows = catalog.conn.fetchall(
+            "SELECT m.run_id AS group_value, COUNT(m.value_num) AS n,"
+            " AVG(m.value_num) AS mean, MIN(m.value_num) AS min_value,"
+            " MAX(m.value_num) AS max_value"
+            " FROM metrics m JOIN runs r ON r.run_id = m.run_id"
+            " WHERE m.key = ? AND m.value_num IS NOT NULL"
+            " AND (? IS NULL OR r.experiment = ?)"
+            " AND (? IS NULL OR r.scale = ?)"
+            " GROUP BY m.run_id ORDER BY m.run_id",
+            (metric, experiment, experiment, scale, scale))
+    else:
+        rows = catalog.conn.fetchall(
+            "SELECT COALESCE(g.value_text, CAST(g.value_num AS TEXT))"
+            "   AS group_value,"
+            " COUNT(m.value_num) AS n, AVG(m.value_num) AS mean,"
+            " MIN(m.value_num) AS min_value, MAX(m.value_num) AS max_value"
+            " FROM metrics m"
+            " JOIN metrics g ON g.run_id = m.run_id"
+            "   AND g.cell_index = m.cell_index AND g.key = ?"
+            " JOIN runs r ON r.run_id = m.run_id"
+            " WHERE m.key = ? AND m.value_num IS NOT NULL"
+            " AND (? IS NULL OR r.experiment = ?)"
+            " AND (? IS NULL OR r.scale = ?)"
+            " GROUP BY group_value ORDER BY group_value",
+            (by, metric, experiment, experiment, scale, scale))
+    return [_aggregate_row(row) for row in rows]
+
+
+def aggregate_bench(catalog: Catalog, metric: str, by: str = "num_envs",
+                    benchmark: Optional[str] = None,
+                    scenario: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Aggregate one bench metric over a fixed bench dimension."""
+    if by not in BENCH_DIMENSIONS:
+        raise ValueError(f"unknown bench dimension {by!r}; "
+                         f"choose from {BENCH_DIMENSIONS}")
+    rows = catalog.conn.fetchall(
+        "SELECT CASE ? WHEN 'scenario' THEN scenario"
+        " WHEN 'variant' THEN variant"
+        " WHEN 'num_envs' THEN CAST(num_envs AS TEXT)"
+        " WHEN 'dtype' THEN dtype WHEN 'benchmark' THEN benchmark"
+        " WHEN 'source' THEN source WHEN 'timestamp' THEN timestamp END"
+        "   AS group_value,"
+        " COUNT(value) AS n, AVG(value) AS mean,"
+        " MIN(value) AS min_value, MAX(value) AS max_value"
+        " FROM bench WHERE key = ?"
+        " AND (? IS NULL OR benchmark = ?)"
+        " AND (? IS NULL OR scenario = ?)"
+        " GROUP BY group_value ORDER BY group_value",
+        (by, metric, benchmark, benchmark, scenario, scenario))
+    return [_aggregate_row(row) for row in rows]
+
+
+def _aggregate_row(row: Any) -> Dict[str, Any]:
+    return {"group": row["group_value"], "n": int(row["n"]),
+            "mean": row["mean"], "min": row["min_value"],
+            "max": row["max_value"]}
+
+
+def list_metric_keys(catalog: Catalog) -> List[Dict[str, Any]]:
+    """Every metrics key with its numeric-cell count (for discoverability)."""
+    rows = catalog.conn.fetchall(
+        "SELECT key, COUNT(*) AS cells, COUNT(value_num) AS numeric_cells"
+        " FROM metrics GROUP BY key ORDER BY key")
+    return [dict(row) for row in rows]
+
+
+def list_bench_keys(catalog: Catalog) -> List[Dict[str, Any]]:
+    rows = catalog.conn.fetchall(
+        "SELECT benchmark, key, COUNT(*) AS rows_recorded FROM bench"
+        " GROUP BY benchmark, key ORDER BY benchmark, key")
+    return [dict(row) for row in rows]
+
+
+def format_rows(rows: Sequence[Dict[str, Any]], fmt: str = "table",
+                columns: Optional[Sequence[str]] = None,
+                title: str = "") -> str:
+    """Render aggregation rows as ``table`` / ``json`` / ``csv`` text."""
+    columns = list(columns) if columns is not None else (
+        list(rows[0]) if rows else list(AGGREGATE_COLUMNS))
+    if fmt == "json":
+        return dump_json(list(rows), indent=2)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key) for key in columns})
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "table":
+        return format_table(list(rows), columns, title=title)
+    raise ValueError(f"unknown format {fmt!r}; choose table, json, or csv")
+
+
+__all__ = [
+    "AGGREGATE_COLUMNS",
+    "BENCH_DIMENSIONS",
+    "aggregate_bench",
+    "aggregate_metric",
+    "format_rows",
+    "list_bench_keys",
+    "list_metric_keys",
+]

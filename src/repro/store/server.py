@@ -1,0 +1,255 @@
+"""``repro serve`` — the campaign service's HTTP face (stdlib only).
+
+A small JSON API over :class:`http.server.ThreadingHTTPServer`; the server
+owns no execution — it records submissions in the catalogue/queue and
+answers reads, while ``repro work`` processes (local or remote, sharing the
+catalogue file) do the draining.
+
+Endpoints
+---------
+``GET  /api/health``                     liveness + catalogue path
+``GET  /api/experiments``                registered experiment ids
+``POST /api/campaigns``                  submit: ``{"experiment": "table5",
+                                         "scale": "smoke", "seed": 0}``
+``GET  /api/campaigns``                  every run with progress counters
+``GET  /api/campaigns/<id>``             one run: cells, provenance, queue
+``GET  /api/campaigns/<id>/rows``        finished rows in cell order
+``GET  /api/campaigns/<id>/stream``      JSON-lines event stream: a snapshot,
+                                         then one event per newly finished
+                                         cell, then a terminal run event
+``GET  /api/query?metric=accuracy&by=defense[&experiment=..][&scale=..]``
+                                         cross-run aggregation
+``GET  /api/query?bench=1&metric=speedup&by=num_envs[&benchmark=..]``
+                                         perf-trajectory aggregation
+
+Every request opens its own catalogue connection (SQLite connections are
+thread-bound; the handler pool is threaded), so concurrent submits, streams,
+and worker writes coexist under WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.rl.stats import dump_json
+from repro.store.catalog import Catalog, catalog_path
+from repro.store.query import aggregate_bench, aggregate_metric
+from repro.store.queue import JobQueue
+
+DEFAULT_PORT = 8642
+
+#: Seconds between catalogue polls while streaming campaign events.
+STREAM_POLL_SECONDS = 0.25
+
+#: Default wall-clock budget of one stream request.
+STREAM_TIMEOUT_SECONDS = 300.0
+
+
+class CampaignServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one runs root + catalogue file."""
+
+    daemon_threads = True
+
+    def __init__(self, root: Path, address: Tuple[str, int]):
+        self.root = Path(root)
+        self.catalog_file = catalog_path(self.root)
+        super().__init__(address, CampaignRequestHandler)
+
+
+class CampaignRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: CampaignServer
+
+    # ----------------------------------------------------------- dispatching
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            if parts == ["api", "health"]:
+                self._json(200, {"ok": True,
+                                 "catalog": str(self.server.catalog_file),
+                                 "root": str(self.server.root)})
+            elif parts == ["api", "experiments"]:
+                from repro.runs.registry import list_experiments
+
+                self._json(200, {"experiments": list_experiments()})
+            elif parts == ["api", "campaigns"]:
+                with Catalog(self.server.catalog_file) as catalog:
+                    self._json(200, {"campaigns": catalog.list_runs()})
+            elif len(parts) == 3 and parts[:2] == ["api", "campaigns"]:
+                self._campaign_detail(parts[2])
+            elif len(parts) == 4 and parts[:2] == ["api", "campaigns"] \
+                    and parts[3] == "rows":
+                self._campaign_rows(parts[2])
+            elif len(parts) == 4 and parts[:2] == ["api", "campaigns"] \
+                    and parts[3] == "stream":
+                self._stream(parts[2], query)
+            elif parts == ["api", "query"]:
+                self._query(query)
+            else:
+                self._json(404, {"error": f"no route for {url.path}"})
+        except ValueError as error:
+            self._json(400, {"error": str(error)})
+        except BrokenPipeError:  # client went away mid-stream
+            pass
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._json(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["api", "campaigns"]:
+                self._submit()
+            else:
+                self._json(404, {"error": f"no route for {url.path}"})
+        except (ValueError, KeyError) as error:
+            self._json(400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._json(500, {"error": f"{type(error).__name__}: {error}"})
+
+    # -------------------------------------------------------------- handlers
+    def _submit(self) -> None:
+        from repro.store.worker import submit_campaign
+
+        length = int(self.headers.get("Content-Length", "0"))
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not JSON: {error}")
+        if not isinstance(body, dict) or "experiment" not in body:
+            raise ValueError('body must be a JSON object with "experiment"')
+        submission = submit_campaign(
+            body["experiment"], scale=body.get("scale"),
+            seed=body.get("seed"), root=self.server.root,
+            checkpoint_every=int(body.get("checkpoint_every", 2)),
+            max_attempts=int(body.get("max_attempts", 1)),
+            retry_backoff=float(body.get("retry_backoff", 0.25)),
+            fault_plan=body.get("fault_plan"))
+        self._json(201, {"submitted": submission.to_dict()})
+
+    def _campaign_detail(self, run_id: str) -> None:
+        with Catalog(self.server.catalog_file) as catalog:
+            info = catalog.run_info(run_id)
+            if info is None:
+                self._json(404, {"error": f"unknown campaign {run_id!r}"})
+                return
+            queue = JobQueue(catalog)
+            info["queue"] = queue.counts(run_id)
+            info["lease_events"] = queue.lease_events(run_id)[-50:]
+        self._json(200, info)
+
+    def _campaign_rows(self, run_id: str) -> None:
+        with Catalog(self.server.catalog_file) as catalog:
+            if not catalog.has_run(run_id):
+                self._json(404, {"error": f"unknown campaign {run_id!r}"})
+                return
+            self._json(200, {"run_id": run_id, "rows": catalog.rows(run_id)})
+
+    def _query(self, query: Dict[str, str]) -> None:
+        metric = query.get("metric")
+        if not metric:
+            raise ValueError("query needs a ?metric= parameter")
+        with Catalog(self.server.catalog_file) as catalog:
+            if query.get("bench"):
+                rows = aggregate_bench(catalog, metric,
+                                       by=query.get("by", "num_envs"),
+                                       benchmark=query.get("benchmark"),
+                                       scenario=query.get("scenario"))
+            else:
+                rows = aggregate_metric(catalog, metric,
+                                        by=query.get("by", "run"),
+                                        experiment=query.get("experiment"),
+                                        scale=query.get("scale"))
+        self._json(200, {"metric": metric, "by": query.get("by"),
+                         "rows": rows})
+
+    def _stream(self, run_id: str, query: Dict[str, str]) -> None:
+        """JSON-lines campaign events until completion (or the timeout)."""
+        timeout = float(query.get("timeout", STREAM_TIMEOUT_SECONDS))
+        deadline = time.perf_counter() + timeout
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        seen: Dict[int, str] = {}
+        first = True
+        while True:
+            with Catalog(self.server.catalog_file) as catalog:
+                info = catalog.run_info(run_id)
+            if info is None:
+                self._stream_line({"event": "error",
+                                   "error": f"unknown campaign {run_id!r}"})
+                return
+            if first:
+                self._stream_line({"event": "snapshot", "run_id": run_id,
+                                   "status": info["status"],
+                                   "cells": len(info["cell_statuses"])})
+                first = False
+            for cell in info["cell_statuses"]:
+                status = cell["status"]
+                if status == "pending" or seen.get(cell["cell_index"]) == status:
+                    continue
+                seen[cell["cell_index"]] = status
+                self._stream_line({"event": "cell", "run_id": run_id,
+                                   "index": cell["cell_index"],
+                                   "status": status,
+                                   "attempts": cell["attempts"]})
+            if info["status"] in ("complete", "failed"):
+                self._stream_line({"event": "run", "run_id": run_id,
+                                   "status": info["status"]})
+                return
+            if time.perf_counter() > deadline:
+                self._stream_line({"event": "timeout", "run_id": run_id,
+                                   "status": info["status"]})
+                return
+            time.sleep(STREAM_POLL_SECONDS)
+
+    # --------------------------------------------------------------- plumbing
+    def _json(self, code: int, payload: Any) -> None:
+        body = dump_json(payload, indent=2).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _stream_line(self, payload: Any) -> None:
+        self.wfile.write((dump_json(payload) + "\n").encode("utf-8"))
+        self.wfile.flush()
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # quiet by default; the CLI prints the endpoint once
+
+
+def make_server(root: Path, host: str = "127.0.0.1",
+                port: int = DEFAULT_PORT) -> CampaignServer:
+    """Build (but do not start) a campaign server; port 0 picks a free one."""
+    return CampaignServer(Path(root), (host, port))
+
+
+def serve(root: Path, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+          ready_message: Optional[Any] = print) -> None:
+    """Run the campaign service until interrupted."""
+    server = make_server(root, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    if ready_message is not None:
+        ready_message(f"repro serve: http://{bound_host}:{bound_port}/api/ "
+                      f"(root={root}, catalog={server.catalog_file})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+__all__ = ["CampaignServer", "DEFAULT_PORT", "make_server", "serve"]

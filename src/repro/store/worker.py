@@ -1,0 +1,277 @@
+"""Campaign submission and the ``repro work`` drain loop.
+
+``submit_campaign`` turns an experiment into durable queue state: it writes
+the campaign's ``manifest.json`` (exactly as ``repro.run()`` would), records
+the run + provenance + pending cells in the catalogue, and enqueues one job
+per cell.  Nothing executes yet — execution belongs to workers.
+
+``work()`` is one worker process: claim a job, execute its cell through the
+runner's own ``_attempt_cell`` path (same artifact tree, same
+strict/lenient/retry/fault semantics as ``repro.run()``), heartbeat the
+lease from a background thread while the cell runs, then mark the job done
+together with the catalogue cell row.  N workers on one catalogue drain a
+campaign cooperatively; a killed worker's lease expires and its cell is
+reclaimed and re-run from its last checkpoint, so the drained campaign is
+bit-identical to a serial ``repro.run()`` of the same experiment.
+
+The drain loop exits when the target queue has no outstanding jobs (or
+immediately claims again while there are).  ``watch=True`` keeps the worker
+alive polling for new submissions — the long-lived service mode behind
+``repro serve``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.experiments.common import ScaleLike, resolve_scale
+from repro.runs.artifacts import atomic_write_json, load_json
+from repro.runs.faults import resolve_fault_plan
+from repro.runs.registry import ExperimentLike, resolve_experiment
+from repro.runs.runner import (
+    _attempt_cell,
+    _manifest_payload,
+    campaign_id,
+    cell_payloads,
+    cell_slug,
+)
+from repro.store.catalog import Catalog, catalog_path
+from repro.store.queue import (
+    DEFAULT_JOB_ATTEMPTS,
+    DEFAULT_LEASE_TTL,
+    Job,
+    JobQueue,
+)
+
+
+@dataclass
+class Submission:
+    """What ``submit_campaign`` returns: where the campaign lives."""
+
+    run_id: str
+    out_dir: Path
+    cells: int
+    enqueued: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"run_id": self.run_id, "out_dir": str(self.out_dir),
+                "cells": self.cells, "enqueued": self.enqueued}
+
+
+def submit_campaign(experiment: ExperimentLike,
+                    scale: Optional[ScaleLike] = None,
+                    seed: Optional[int] = None,
+                    root: os.PathLike = "runs",
+                    out_dir: Optional[os.PathLike] = None,
+                    checkpoint_every: int = 2,
+                    max_attempts: int = 1, retry_backoff: float = 0.25,
+                    fault_plan: Any = None,
+                    catalog: Optional[Catalog] = None) -> Submission:
+    """Register a campaign in the catalogue and enqueue its cells.
+
+    Safe to call twice: the manifest check refuses a *different* campaign in
+    the same directory, existing cell/job rows are kept, and already-finished
+    cells complete instantly when a worker claims them (their ``result.json``
+    is the memo).
+    """
+    from repro.runs.runner import _check_manifest  # late: keeps import graph flat
+
+    spec = resolve_experiment(experiment)
+    scale = resolve_scale(scale if scale is not None else spec.default_scale)
+    seed = spec.base_seed if seed is None else int(seed)
+    plan = resolve_fault_plan(fault_plan)
+    root = Path(root)
+    out_dir = (Path(out_dir) if out_dir is not None
+               else root / campaign_id(spec.experiment_id, scale, seed))
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    cells = spec.cells(scale)
+    manifest = _manifest_payload(spec, scale, seed, cells)
+    manifest_file = out_dir / "manifest.json"
+    if manifest_file.exists():
+        _check_manifest(load_json(manifest_file), manifest, out_dir)
+    else:
+        atomic_write_json(manifest_file, manifest, indent=2)
+
+    payloads = cell_payloads(spec, scale, seed, out_dir, cells,
+                             checkpoint_every=checkpoint_every,
+                             fault_plan=plan, max_attempts=max_attempts,
+                             retry_backoff=retry_backoff)
+    run_id = out_dir.name
+    owns_catalog = catalog is None
+    catalog = catalog if catalog is not None else Catalog(
+        catalog_path(out_dir.parent))
+    try:
+        catalog.record_campaign(
+            run_id, spec, scale.name, seed, out_dir, cells,
+            slugs=[cell_slug(i, params) for i, params in enumerate(cells)],
+            fault_plan=plan.to_dict() if plan is not None else None,
+            manifest_version=manifest["version"])
+        enqueued = JobQueue(catalog).submit(run_id, payloads)
+    finally:
+        if owns_catalog:
+            catalog.close()
+    return Submission(run_id=run_id, out_dir=out_dir, cells=len(cells),
+                      enqueued=enqueued)
+
+
+@dataclass
+class WorkerSummary:
+    """One worker's account of a drain loop."""
+
+    worker_id: str
+    completed: int = 0
+    failed: int = 0
+    released: int = 0
+    reclaimed: int = 0
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"worker_id": self.worker_id, "completed": self.completed,
+                "failed": self.failed, "released": self.released,
+                "reclaimed": self.reclaimed, "cells": self.cells}
+
+
+class _Heartbeat:
+    """Background lease renewal while a cell executes.
+
+    Runs on its own catalogue connection (SQLite connections are
+    thread-bound); only touches the lease row, never the cell's computation,
+    so worker results stay deterministic.
+    """
+
+    def __init__(self, path: Path, job: Job, worker_id: str, lease_ttl: int):
+        self._path = path
+        self._job = job
+        self._worker_id = worker_id
+        self._ttl = int(lease_ttl)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        interval = max(1.0, self._ttl / 3.0)
+        with Catalog(self._path) as catalog:
+            queue = JobQueue(catalog)
+            while not self._stop.wait(interval):
+                if not queue.heartbeat(self._job, self._worker_id, self._ttl):
+                    return  # lease lost; the claim's new owner re-runs the cell
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _finalize_run(catalog: Catalog, out_dir: Path) -> None:
+    """Write ``results.json`` once every cell of a drained run completed.
+
+    Rows come from the cells' ``result.json`` files (the artifact tree is
+    the source of truth), matching ``repro.run()`` byte-for-byte.  Multiple
+    workers may race here; the content is deterministic and the write
+    atomic, so the race is harmless.
+    """
+    from repro.runs.runner import _load_cached_row
+
+    manifest = load_json(out_dir / "manifest.json")
+    rows = [_load_cached_row(out_dir / "cells" / cell["slug"] / "result.json")
+            for cell in manifest["cells"]]
+    if any(row is None for row in rows):
+        return
+    atomic_write_json(out_dir / "results.json", {
+        "experiment": manifest["experiment"]["experiment_id"],
+        "scale": manifest["scale"]["name"], "seed": manifest["seed"],
+        "rows": rows,
+    }, indent=2)
+
+
+def work(root: os.PathLike = "runs", run_id: Optional[str] = None,
+         worker_id: Optional[str] = None,
+         lease_ttl: int = DEFAULT_LEASE_TTL,
+         max_job_attempts: int = DEFAULT_JOB_ATTEMPTS,
+         poll_seconds: float = 0.5, watch: bool = False,
+         max_cells: Optional[int] = None,
+         catalog_file: Optional[os.PathLike] = None) -> WorkerSummary:
+    """Drain the queue at ``root`` (optionally one campaign) as one worker."""
+    worker_id = worker_id or default_worker_id()
+    path = Path(catalog_file) if catalog_file is not None else catalog_path(
+        Path(root))
+    summary = WorkerSummary(worker_id=worker_id)
+    with Catalog(path) as catalog:
+        queue = JobQueue(catalog, max_job_attempts=max_job_attempts)
+        while True:
+            if max_cells is not None and len(summary.cells) >= max_cells:
+                break
+            job = queue.claim(worker_id, run_id=run_id, lease_ttl=lease_ttl)
+            if job is None:
+                if watch or queue.outstanding(run_id):
+                    # Another worker holds a live lease (or new work may
+                    # arrive): wait instead of abandoning the drain.
+                    time.sleep(poll_seconds)
+                    continue
+                break
+            if job.reclaimed_from is not None:
+                summary.reclaimed += 1
+            with _Heartbeat(path, job, worker_id, lease_ttl):
+                outcome = _attempt_cell(dict(job.payload))
+            status = outcome.get("status", "failed")
+            cell_dir = Path(job.payload["cell_dir"])
+            record = {"index": job.cell_index, "run_id": job.run_id,
+                      "status": status, "attempts": job.attempts}
+            if status in ("completed", "cached"):
+                if queue.complete(job, worker_id):
+                    catalog.record_cell(
+                        job.run_id, job.cell_index, job.payload["params"],
+                        status, row=outcome.get("row"),
+                        attempts=outcome.get("attempt", job.attempts),
+                        elapsed_seconds=_elapsed_from(cell_dir))
+                    summary.completed += 1
+                # else: the lease was reclaimed while we ran; the new owner
+                # re-executes the (idempotent) cell and records it.
+            else:
+                new_state = queue.release(job, worker_id,
+                                          error=outcome.get("error"))
+                catalog.record_cell(
+                    job.run_id, job.cell_index, job.payload["params"],
+                    status, error=outcome.get("error"),
+                    attempts=outcome.get("attempt", job.attempts))
+                if new_state == "failed":
+                    summary.failed += 1
+                else:
+                    summary.released += 1
+                record["error"] = outcome.get("error")
+            summary.cells.append(record)
+            if queue.outstanding(job.run_id) == 0:
+                _finalize_run(catalog, Path(job.payload["out_dir"]))
+    return summary
+
+
+def _elapsed_from(cell_dir: Path) -> Optional[float]:
+    """The cell's recorded wall-clock seconds (from its result.json)."""
+    try:
+        payload = load_json(cell_dir / "result.json")
+    except Exception:
+        return None
+    value = payload.get("elapsed_seconds") if isinstance(payload, dict) else None
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+__all__ = [
+    "Submission",
+    "WorkerSummary",
+    "default_worker_id",
+    "submit_campaign",
+    "work",
+]

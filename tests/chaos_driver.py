@@ -13,6 +13,10 @@ cell through ``params["mode"]``:
     cell directory, so the count survives retries and resumes), succeed after.
 ``sleep``
     Sleep ``params["seconds"]`` before returning (for watchdog tests).
+``sleep_once``
+    Sleep only on the first call (counted in a file inside the cell
+    directory), return immediately afterwards — for kill-and-reclaim tests
+    where the second worker must finish the cell fast.
 ``interrupt``
     Raise ``KeyboardInterrupt`` — control flow must propagate, never be
     recorded as an ordinary cell failure.
@@ -36,6 +40,12 @@ def run_cell(params, scale, seed=0, ctx=None):
             raise RuntimeError(f"chaos: flaky call {calls + 1} of cell {params['name']}")
     if mode == "sleep":
         time.sleep(float(params.get("seconds", 5.0)))
+    if mode == "sleep_once":
+        counter = ctx.cell_dir / "chaos-sleeps.txt"
+        calls = int(counter.read_text()) if counter.exists() else 0
+        counter.write_text(str(calls + 1))
+        if calls == 0:
+            time.sleep(float(params.get("seconds", 30.0)))
     if mode == "interrupt":
         raise KeyboardInterrupt
     return {"name": params["name"], "value": seed + int(params.get("offset", 0))}

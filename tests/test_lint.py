@@ -322,6 +322,102 @@ class TestArtifactRules:
         assert not active
 
 
+# ------------------------------------------------------- store-connection
+class TestStoreConnectionRule:
+    def test_bare_sqlite_connect_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import sqlite3\n"
+            "def open_db(path):\n"
+            "    return sqlite3.connect(path)\n"),
+            rel="src/repro/store/catalog.py")
+        assert rules_of(active) == {"artifacts.store-connection"}
+
+    def test_bare_connect_outside_store_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import sqlite3\n"
+            "def peek(path):\n"
+            "    return sqlite3.connect(path)\n"),
+            rel="src/repro/runs/runner.py")
+        assert rules_of(active) == {"artifacts.store-connection"}
+
+    def test_from_import_connect_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "from sqlite3 import connect\n"
+            "def open_db(path):\n"
+            "    return connect(path)\n"),
+            rel="src/repro/store/query.py")
+        assert rules_of(active) == {"artifacts.store-connection"}
+
+    def test_connection_module_exempt(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import sqlite3\n"
+            "def open_db(path):\n"
+            "    return sqlite3.connect(path)\n"),
+            rel="src/repro/store/connection.py")
+        assert not active
+
+    def test_fstring_sql_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def fetch(conn, table):\n"
+            "    return conn.execute(f'SELECT * FROM {table}')\n"),
+            rel="src/repro/store/query.py")
+        assert rules_of(active) == {"artifacts.store-connection"}
+
+    def test_concatenated_sql_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def fetch(conn, key):\n"
+            "    return conn.fetchall('SELECT * FROM metrics WHERE key = '"
+            " + key)\n"),
+            rel="src/repro/store/catalog.py")
+        assert rules_of(active) == {"artifacts.store-connection"}
+
+    def test_percent_format_sql_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def fetch(conn, run_id):\n"
+            "    return conn.execute(\"SELECT * FROM runs WHERE run_id"
+            " = '%s'\" % run_id)\n"),
+            rel="src/repro/store/catalog.py")
+        assert rules_of(active) == {"artifacts.store-connection"}
+
+    def test_literal_sql_with_params_good(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def fetch(conn, key):\n"
+            "    return conn.fetchall(\n"
+            "        'SELECT * FROM metrics WHERE key = ?', (key,))\n"),
+            rel="src/repro/store/query.py")
+        assert not active
+
+    def test_module_constant_sql_good(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "DDL = 'CREATE TABLE IF NOT EXISTS t (x)'\n"
+            "def apply(conn):\n"
+            "    conn.executescript(DDL)\n"),
+            rel="src/repro/store/schema.py")
+        assert not active
+
+    def test_literal_conditional_sql_good(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def begin(conn, immediate):\n"
+            "    conn.execute('BEGIN IMMEDIATE' if immediate else 'BEGIN')\n"),
+            rel="src/repro/store/queue.py")
+        assert not active
+
+    def test_sql_strings_unchecked_outside_store(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "def fetch(conn, table):\n"
+            "    return conn.execute(f'SELECT * FROM {table}')\n"),
+            rel="src/repro/runs/runner.py")
+        assert not active
+
+    def test_store_package_obeys_rule_in_tree(self):
+        """The real repro/store package must carry zero findings."""
+        from repro.lint import run_lint
+
+        report = run_lint([SRC / "repro" / "store"])
+        assert not [f for f in report.findings
+                    if f.rule == "artifacts.store-connection"]
+
+
 # -------------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_parse_suppressions(self):

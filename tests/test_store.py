@@ -1,0 +1,535 @@
+"""Tests for the campaign service: catalogue, queue, workers, serve, query.
+
+The multi-worker scenarios use the training-free ``tests/chaos_driver``
+experiment so drains finish in milliseconds; the kill-and-reclaim scenario
+runs a real ``python -m repro work`` subprocess and kills it mid-cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.rl.stats import dump_json
+from repro.runs import ExperimentSpec, register_experiment, unregister_experiment
+from repro.runs.cli import main as cli_main
+from repro.store import Catalog, JobQueue, catalog_path, connect, spec_hash
+from repro.store.catalog import code_version
+from repro.store.ingest import (
+    ingest,
+    ingest_bench_file,
+    record_bench_entry,
+)
+from repro.store.query import aggregate_bench, aggregate_metric, format_rows
+from repro.store.queue import Job
+from repro.store.server import make_server
+from repro.store.worker import submit_campaign, work
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def chaos_spec(*cells: dict) -> ExperimentSpec:
+    return ExperimentSpec(experiment_id="chaos", driver="chaos_driver",
+                          columns=("name", "value"), grid=cells,
+                          default_scale="smoke")
+
+
+# --------------------------------------------------------------------------
+class TestConnection:
+    def test_schema_created_and_wal(self, tmp_path):
+        with connect(tmp_path / "catalog.sqlite") as conn:
+            mode = conn.scalar("PRAGMA journal_mode")
+            assert mode == "wal"
+            tables = {r["name"] for r in conn.fetchall(
+                "SELECT name FROM sqlite_master WHERE type = 'table'")}
+            assert {"runs", "cells", "metrics", "bench", "jobs",
+                    "lease_events", "provenance", "meta"} <= tables
+
+    def test_refuses_newer_schema(self, tmp_path):
+        path = tmp_path / "catalog.sqlite"
+        with connect(path) as conn:
+            conn.execute("UPDATE meta SET value = '999' "
+                         "WHERE key = 'schema_version'")
+        with pytest.raises(RuntimeError, match="newer"):
+            connect(path)
+
+    def test_transaction_rolls_back(self, tmp_path):
+        with connect(tmp_path / "catalog.sqlite") as conn:
+            with pytest.raises(RuntimeError):
+                with conn.transaction():
+                    conn.execute(
+                        "INSERT INTO bench (benchmark, key, value, source)"
+                        " VALUES ('b', 'k', 1.0, 's')")
+                    raise RuntimeError("boom")
+            assert conn.scalar("SELECT COUNT(*) FROM bench") == 0
+
+    def test_shared_clock(self, tmp_path):
+        with connect(tmp_path / "catalog.sqlite") as conn:
+            now = conn.now()
+            assert isinstance(now, int) and now > 1_700_000_000
+
+
+# --------------------------------------------------------------------------
+class TestCatalog:
+    def test_runner_records_campaign(self, tmp_path):
+        root = tmp_path / "runs"
+        campaign = repro.run("table1", scale="smoke", root=root)
+        with Catalog(catalog_path(root)) as catalog:
+            assert catalog.has_run("table1-smoke")
+            info = catalog.run_info("table1-smoke")
+            assert info["status"] == "complete"
+            assert info["provenance"]["spec_hash"] == spec_hash(
+                campaign.spec.to_json())
+            assert info["provenance"]["seed"] == campaign.seed
+            rows = catalog.rows("table1-smoke")
+        assert dump_json(rows) == dump_json(campaign.rows)
+
+    def test_catalog_disabled(self, tmp_path):
+        root = tmp_path / "runs"
+        repro.run("table1", scale="smoke", root=root, catalog=False)
+        assert not catalog_path(root).exists()
+
+    def test_record_cell_failure_then_recovery(self, tmp_path):
+        spec = chaos_spec({"mode": "flaky", "name": "a", "fails": 1})
+        root = tmp_path / "runs"
+        first = repro.run(spec, out_dir=root / "chaos-smoke", strict=False)
+        assert first.failed == 1
+        with Catalog(catalog_path(root)) as catalog:
+            statuses = catalog.cell_statuses("chaos-smoke")
+            assert statuses[0]["status"] == "failed"
+            assert statuses[0]["attempts"] == 1
+        second = repro.run(spec, out_dir=root / "chaos-smoke", strict=False)
+        assert second.completed == 1
+        with Catalog(catalog_path(root)) as catalog:
+            statuses = catalog.cell_statuses("chaos-smoke")
+            assert statuses[0]["status"] == "completed"
+            assert catalog.run_info("chaos-smoke")["status"] == "complete"
+
+    def test_metrics_exploded_for_query(self, tmp_path):
+        root = tmp_path / "runs"
+        campaign = repro.run("table1", scale="smoke", root=root)
+        with Catalog(catalog_path(root)) as catalog:
+            rows = aggregate_metric(catalog, "accuracy", by="attack_category")
+        assert len(rows) == len(campaign.rows)
+        for row in rows:
+            assert row["n"] == 1
+
+    def test_code_version_resolves_in_repo(self):
+        version = code_version(REPO_ROOT)
+        assert version == "unknown" or len(version) == 40
+
+
+# --------------------------------------------------------------------------
+class TestJobQueue:
+    def _submitted(self, tmp_path, cells=2):
+        spec = chaos_spec(*({"mode": "ok", "name": f"c{i}"}
+                            for i in range(cells)))
+        root = tmp_path / "runs"
+        submission = submit_campaign(spec, root=root)
+        catalog = Catalog(catalog_path(root))
+        return submission, catalog, JobQueue(catalog)
+
+    def test_claim_orders_by_cell_index(self, tmp_path):
+        submission, catalog, queue = self._submitted(tmp_path)
+        try:
+            first = queue.claim("w1")
+            second = queue.claim("w2")
+            assert (first.cell_index, second.cell_index) == (0, 1)
+            assert queue.claim("w3") is None
+        finally:
+            catalog.close()
+
+    def test_complete_requires_live_lease(self, tmp_path):
+        submission, catalog, queue = self._submitted(tmp_path)
+        try:
+            job = queue.claim("w1")
+            assert queue.complete(job, "imposter") is False
+            assert queue.complete(job, "w1") is True
+            assert queue.counts(submission.run_id)["done"] == 1
+        finally:
+            catalog.close()
+
+    def test_release_returns_to_pending_then_fails(self, tmp_path):
+        submission, catalog, queue = self._submitted(tmp_path, cells=1)
+        queue.max_job_attempts = 2
+        try:
+            job = queue.claim("w1")
+            assert queue.release(job, "w1", error="boom") == "pending"
+            job = queue.claim("w1")
+            assert job.attempts == 2
+            assert queue.release(job, "w1", error="boom") == "failed"
+            assert queue.outstanding(submission.run_id) == 0
+        finally:
+            catalog.close()
+
+    def test_expired_lease_is_reclaimed(self, tmp_path):
+        submission, catalog, queue = self._submitted(tmp_path, cells=1)
+        try:
+            job = queue.claim("w1", lease_ttl=-1)  # born expired
+            reclaimed = queue.claim("w2")
+            assert reclaimed is not None
+            assert reclaimed.reclaimed_from == "w1"
+            events = [e["event"] for e in
+                      queue.lease_events(submission.run_id)]
+            assert events == ["claimed", "reclaimed"]
+            # The dead worker's late completion must be rejected.
+            assert queue.complete(job, "w1") is False
+            assert queue.complete(reclaimed, "w2") is True
+        finally:
+            catalog.close()
+
+    def test_heartbeat_extends_and_detects_loss(self, tmp_path):
+        submission, catalog, queue = self._submitted(tmp_path, cells=1)
+        try:
+            job = queue.claim("w1", lease_ttl=60)
+            assert queue.heartbeat(job, "w1", lease_ttl=60) is True
+            assert queue.heartbeat(job, "imposter", lease_ttl=60) is False
+        finally:
+            catalog.close()
+
+
+# --------------------------------------------------------------------------
+class TestWorkerDrain:
+    def test_single_worker_drains_and_finalizes(self, tmp_path):
+        root = tmp_path / "runs"
+        submission = submit_campaign("table1", scale="smoke", root=root)
+        summary = work(root=root, worker_id="w1")
+        assert summary.completed == submission.cells
+        assert (submission.out_dir / "results.json").exists()
+
+    def test_two_workers_bit_identical_to_serial(self, tmp_path):
+        spec = chaos_spec(*({"mode": "ok", "name": f"c{i}", "offset": i}
+                            for i in range(6)))
+        serial_root = tmp_path / "serial"
+        queue_root = tmp_path / "queued"
+        repro.run(spec, seed=3, root=serial_root)
+        submission = submit_campaign(spec, seed=3, root=queue_root)
+
+        summaries = [None, None]
+
+        def drain(slot: int) -> None:
+            summaries[slot] = work(root=queue_root,
+                                   worker_id=f"w{slot}", poll_seconds=0.05)
+
+        threads = [threading.Thread(target=drain, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert all(s is not None for s in summaries)
+        assert sum(s.completed for s in summaries) == submission.cells
+        serial_results = (serial_root / "chaos-smoke-seed3"
+                          / "results.json").read_bytes()
+        queued_results = (submission.out_dir / "results.json").read_bytes()
+        assert queued_results == serial_results
+
+    def test_failed_cell_exhausts_queue_budget(self, tmp_path):
+        spec = chaos_spec({"mode": "fail", "name": "a"})
+        root = tmp_path / "runs"
+        submit_campaign(spec, root=root)
+        summary = work(root=root, worker_id="w1", max_job_attempts=2,
+                       poll_seconds=0.05)
+        assert summary.failed == 1
+        with Catalog(catalog_path(root)) as catalog:
+            queue = JobQueue(catalog)
+            assert queue.counts("chaos-smoke") == {"failed": 1}
+            events = [e["event"] for e in queue.lease_events("chaos-smoke")]
+        assert events == ["claimed", "released", "claimed", "failed"]
+
+    def test_submit_is_idempotent(self, tmp_path):
+        root = tmp_path / "runs"
+        first = submit_campaign("table1", scale="smoke", root=root)
+        again = submit_campaign("table1", scale="smoke", root=root)
+        assert first.enqueued == first.cells
+        assert again.enqueued == 0  # jobs already queued
+
+
+# --------------------------------------------------------------------------
+class TestKilledWorkerReclaim:
+    def test_lease_reclaimed_after_worker_kill(self, tmp_path):
+        """Kill a worker mid-cell; a second worker reclaims and finishes."""
+        spec = chaos_spec({"mode": "sleep_once", "name": "a", "seconds": 60},
+                          {"mode": "ok", "name": "b"})
+        root = tmp_path / "runs"
+        submission = submit_campaign(spec, root=root)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", "work", "--root", str(root),
+             "--worker-id", "victim", "--lease-ttl", "2"],
+            env=env, cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            # Wait until the victim holds the sleeping cell's lease.
+            deadline = time.perf_counter() + 30
+            while time.perf_counter() < deadline:
+                with Catalog(catalog_path(root)) as catalog:
+                    events = JobQueue(catalog).lease_events("chaos-smoke")
+                if any(e["event"] == "claimed" and e["worker"] == "victim"
+                       for e in events):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("victim worker never claimed a cell")
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10)
+
+            # Second worker: waits out the dead lease, reclaims, finishes.
+            summary = work(root=root, worker_id="rescuer", lease_ttl=2,
+                           poll_seconds=0.1, max_job_attempts=5)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+        assert summary.reclaimed >= 1
+        assert (submission.out_dir / "results.json").exists()
+        with Catalog(catalog_path(root)) as catalog:
+            queue = JobQueue(catalog)
+            events = queue.lease_events("chaos-smoke")
+            assert any(e["event"] == "reclaimed"
+                       and e["worker"] == "rescuer" for e in events)
+            assert queue.outstanding("chaos-smoke") == 0
+            assert catalog.run_info("chaos-smoke")["status"] == "complete"
+
+
+# --------------------------------------------------------------------------
+class TestQuery:
+    def test_aggregate_matches_results_json(self, tmp_path):
+        root = tmp_path / "runs"
+        campaign = repro.run("table1", scale="smoke", root=root)
+        results = json.loads(
+            (campaign.out_dir / "results.json").read_text())
+        expected = sum(r["accuracy"] for r in results["rows"]) / len(
+            results["rows"])
+        with Catalog(catalog_path(root)) as catalog:
+            by_run = aggregate_metric(catalog, "accuracy", by="run")
+        assert len(by_run) == 1
+        assert by_run[0]["group"] == "table1-smoke"
+        assert by_run[0]["n"] == len(results["rows"])
+        assert by_run[0]["mean"] == pytest.approx(expected)
+
+    def test_group_by_param_across_runs(self, tmp_path):
+        root = tmp_path / "runs"
+        spec_a = chaos_spec({"mode": "ok", "name": "x", "offset": 1},
+                            {"mode": "ok", "name": "y", "offset": 5})
+        repro.run(spec_a, seed=0, root=root)
+        repro.run(spec_a, seed=10, root=root)
+        with Catalog(catalog_path(root)) as catalog:
+            rows = aggregate_metric(catalog, "value", by="name")
+        by_group = {r["group"]: r for r in rows}
+        assert by_group["x"]["n"] == 2
+        assert by_group["x"]["mean"] == pytest.approx((1 + 11) / 2)
+        assert by_group["y"]["mean"] == pytest.approx((5 + 15) / 2)
+
+    def test_format_rows_csv_and_json(self):
+        rows = [{"group": "a", "n": 1, "mean": 0.5, "min": 0.5, "max": 0.5}]
+        csv_text = format_rows(rows, "csv")
+        assert csv_text.splitlines()[0] == "group,n,mean,min,max"
+        assert json.loads(format_rows(rows, "json")) == rows
+        with pytest.raises(ValueError):
+            format_rows(rows, "yaml")
+
+
+# --------------------------------------------------------------------------
+class TestIngest:
+    def test_backfills_legacy_tree(self, tmp_path):
+        root = tmp_path / "runs"
+        campaign = repro.run("table1", scale="smoke", root=root,
+                             catalog=False)
+        assert not catalog_path(root).exists()
+        summary = ingest(root=root)
+        assert summary["runs"] == 1
+        assert summary["cells"] == len(campaign.rows)
+        with Catalog(catalog_path(root)) as catalog:
+            info = catalog.run_info("table1-smoke")
+            assert info["status"] == "complete"
+            assert info["provenance"]["ingested_from"] == str(campaign.out_dir)
+            assert dump_json(catalog.rows("table1-smoke")) == dump_json(
+                campaign.rows)
+
+    def test_reingest_is_idempotent(self, tmp_path):
+        root = tmp_path / "runs"
+        repro.run("table1", scale="smoke", root=root, catalog=False)
+        ingest(root=root)
+        ingest(root=root)
+        with Catalog(catalog_path(root)) as catalog:
+            assert catalog.conn.scalar("SELECT COUNT(*) FROM runs") == 1
+            assert catalog.conn.scalar(
+                "SELECT COUNT(*) FROM cells WHERE run_id = 'table1-smoke'"
+                " AND status = 'completed'") == 4
+
+    def test_bench_file_roundtrip_and_replacement(self, tmp_path):
+        bench = tmp_path / "BENCH_t.json"
+        bench.write_text(json.dumps({"entries": [{
+            "benchmark": "env_throughput", "scenario": "s",
+            "timestamp": "2026-01-01T00:00:00",
+            "results": [{"workload": "replay", "num_envs": 32,
+                         "soa_steps_per_second": 100.0, "speedup": 2.5}],
+            "headline_speedup": 2.5,
+        }]}))
+        with Catalog(tmp_path / "catalog.sqlite") as catalog:
+            first = ingest_bench_file(catalog, bench)
+            again = ingest_bench_file(catalog, bench)
+            assert first == again
+            total = catalog.conn.scalar("SELECT COUNT(*) FROM bench")
+            assert total == first  # replaced, not appended
+            rows = aggregate_bench(catalog, "speedup", by="num_envs")
+            assert rows == [{"group": "32", "n": 1, "mean": 2.5,
+                             "min": 2.5, "max": 2.5}]
+
+    def test_record_bench_entry_appends(self, tmp_path):
+        entry = {"benchmark": "train_throughput",
+                 "results": [{"mode": "fast", "dtype": "float32",
+                              "updates_per_second": 10.0}],
+                 "speedups": {"updates_fast_vs_graph": 3.0}}
+        with Catalog(tmp_path / "catalog.sqlite") as catalog:
+            record_bench_entry(catalog, entry, "live")
+            record_bench_entry(catalog, entry, "live")
+            assert catalog.conn.scalar(
+                "SELECT COUNT(*) FROM bench WHERE key ="
+                " 'speedups.updates_fast_vs_graph'") == 2
+
+    def test_checked_in_bench_files_ingest(self, tmp_path):
+        """The repo's own BENCH_*.json trajectories must flatten cleanly."""
+        with Catalog(tmp_path / "catalog.sqlite") as catalog:
+            rows = 0
+            for name in ("BENCH_throughput.json", "BENCH_train.json"):
+                rows += ingest_bench_file(catalog, REPO_ROOT / name)
+            assert rows > 0
+            speedups = aggregate_bench(catalog, "speedup", by="num_envs",
+                                       benchmark="env_throughput")
+        assert speedups, "env_throughput speedup rows must survive ingest"
+
+
+# --------------------------------------------------------------------------
+@pytest.fixture
+def server_root(tmp_path):
+    root = tmp_path / "runs"
+    repro.run("table1", scale="smoke", root=root)
+    server = make_server(root, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield root, server.server_address[1]
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _get(port: int, path: str):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+        return json.loads(response.read())
+
+
+class TestServer:
+    def test_health_and_listing(self, server_root):
+        root, port = server_root
+        assert _get(port, "/api/health")["ok"] is True
+        campaigns = _get(port, "/api/campaigns")["campaigns"]
+        assert [c["run_id"] for c in campaigns] == ["table1-smoke"]
+        assert "table1" in _get(port, "/api/experiments")["experiments"]
+
+    def test_campaign_detail_rows_and_query(self, server_root):
+        root, port = server_root
+        detail = _get(port, "/api/campaigns/table1-smoke")
+        assert detail["status"] == "complete"
+        assert detail["provenance"]["spec_hash"]
+        rows = _get(port, "/api/campaigns/table1-smoke/rows")["rows"]
+        assert len(rows) == 4
+        query = _get(port, "/api/query?metric=accuracy&by=attack_category")
+        assert len(query["rows"]) == 4
+
+    def test_unknown_routes_and_campaigns_404(self, server_root):
+        root, port = server_root
+        for path in ("/api/campaigns/nope", "/nothing/here"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(port, path)
+            assert err.value.code == 404
+
+    def test_submit_then_drain_then_stream(self, server_root):
+        root, port = server_root
+        body = json.dumps({"experiment": "fig4", "scale": "smoke"}).encode()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/api/campaigns", data=body,
+            method="POST")
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 201
+            submitted = json.loads(response.read())["submitted"]
+        assert submitted["run_id"] == "fig4-smoke"
+        summary = work(root=root, run_id="fig4-smoke", worker_id="w1")
+        assert summary.completed == submitted["cells"]
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/api/campaigns/fig4-smoke/stream"
+                "?timeout=10") as response:
+            events = [json.loads(line) for line in response.read().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "snapshot"
+        assert kinds[-1] == "run"
+        assert kinds.count("cell") == submitted["cells"]
+
+    def test_bad_submit_rejected(self, server_root):
+        root, port = server_root
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/api/campaigns", data=b"not json",
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+
+
+# --------------------------------------------------------------------------
+class TestCLI:
+    def test_status_prefers_catalogue(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        repro.run("table1", scale="smoke", root=root)
+        assert cli_main(["status", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "table1-smoke" in out and "catalogue" in out
+        assert cli_main(["status", "--root", str(root), "--no-catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "table1-smoke" in out and "catalogue" not in out
+
+    def test_query_and_list_keys(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        repro.run("table1", scale="smoke", root=root)
+        assert cli_main(["query", "accuracy", "--by", "attack_category",
+                         "--root", str(root), "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("group,n,mean,min,max")
+        assert cli_main(["query", "--list-keys", "--root", str(root)]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_query_without_catalog_fails_cleanly(self, tmp_path, capsys):
+        assert cli_main(["query", "accuracy",
+                         "--root", str(tmp_path / "nope")]) == 1
+
+    def test_submit_work_roundtrip(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        assert cli_main(["submit", "table1", "--scale", "smoke",
+                         "--root", str(root)]) == 0
+        assert "4 job(s)" in capsys.readouterr().out
+        assert cli_main(["work", "--root", str(root)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["completed"] == 4
+        assert (root / "table1-smoke" / "results.json").exists()
+
+    def test_store_ingest(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        repro.run("table1", scale="smoke", root=root, catalog=False)
+        assert cli_main(["store", "ingest", "--root", str(root)]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
