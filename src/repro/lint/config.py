@@ -95,6 +95,18 @@ DEFAULT_STORE_EXEMPT: Tuple[str, ...] = (
     "repro/store/connection.py",
 )
 
+#: The sanctioned homes of raw HTTP/socket request construction:
+#: ``repro/store/client.py`` is where the deadline/retry/idempotency
+#: contract lives (every worker request must inherit it), and
+#: ``repro/store/chaos.py`` is the TCP chaos proxy, which needs raw sockets
+#: by design.  Everywhere else under ``src/repro``, building requests with
+#: ``urllib``/``http.client``/``socket`` directly is banned
+#: (``artifacts.store-client``).
+DEFAULT_NET_EXEMPT: Tuple[str, ...] = (
+    "repro/store/client.py",
+    "repro/store/chaos.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -117,6 +129,9 @@ class LintConfig:
     store_strict: Tuple[str, ...] = DEFAULT_STORE_STRICT
     #: Modules allowed to call ``sqlite3.connect`` (the helper itself).
     store_exempt: Tuple[str, ...] = DEFAULT_STORE_EXEMPT
+    #: Modules allowed to build raw HTTP requests / sockets (the store
+    #: client and the chaos proxy).
+    net_exempt: Tuple[str, ...] = DEFAULT_NET_EXEMPT
     #: Checked-in suppressions baseline (repo-relative).
     baseline: str = "src/repro/lint/baseline.json"
 
@@ -146,6 +161,10 @@ class LintConfig:
     def store_exempt_for(self, rel_path: str) -> bool:
         """Whether this module is the sanctioned sqlite3.connect site."""
         return any(rel_path.endswith(suffix) for suffix in self.store_exempt)
+
+    def net_exempt_for(self, rel_path: str) -> bool:
+        """Whether this module may build raw HTTP requests / sockets."""
+        return any(rel_path.endswith(suffix) for suffix in self.net_exempt)
 
 
 def _path_matches(rel_path: str, entries: Tuple[str, ...]) -> bool:

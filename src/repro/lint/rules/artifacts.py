@@ -144,6 +144,76 @@ class StoreConnectionRule(Rule):
         return findings
 
 
+#: Modules whose request-construction entry points are banned outside the
+#: sanctioned client/proxy modules.
+_NET_MODULES = ("urllib.request", "http.client", "socket")
+
+#: Raw request-construction calls, fully dotted.
+_NET_BANNED = frozenset({
+    "urllib.request.urlopen",
+    "urllib.request.Request",
+    "urllib.request.build_opener",
+    "http.client.HTTPConnection",
+    "http.client.HTTPSConnection",
+    "socket.socket",
+    "socket.create_connection",
+})
+
+
+class StoreClientRule(Rule):
+    """HTTP requests go through ``repro.store.client.StoreClient``.
+
+    The store client is where the worker transport's reliability contract
+    lives: per-request deadlines, the bounded deterministic retry budget,
+    the retryable-vs-fatal error taxonomy, and per-mutation idempotency
+    keys.  A raw ``urllib.request.urlopen`` / ``http.client.HTTPConnection``
+    / ``socket.create_connection`` anywhere else silently opts out of all
+    four — no deadline, no retries, and (worst) mutations that can
+    double-apply under retry.  Only the client itself and the chaos proxy
+    (which needs raw sockets by design) are exempt (``net_exempt`` in the
+    lint config).
+    """
+
+    rule_id = "artifacts.store-client"
+    description = ("raw urllib/http.client/socket request construction "
+                   "outside repro/store/client.py")
+    why = ("a raw request bypasses the store client's deadline, retry "
+           "budget, error taxonomy, and idempotency keys — an un-keyed "
+           "retried mutation can double-apply")
+    hint = ("use repro.store.client.StoreClient (or add the module to "
+            "net_exempt if it is transport implementation)")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.config.net_exempt_for(ctx.rel):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_attribute_chain(node.func)
+            if not chain:
+                continue
+            dotted = self._resolve(ctx, chain)
+            if dotted in _NET_BANNED:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"raw {dotted}() outside the sanctioned store client"))
+        return findings
+
+    @staticmethod
+    def _resolve(ctx: FileContext, chain: List[str]) -> str:
+        """The call's fully dotted name with import aliases resolved."""
+        head = chain[0]
+        module, original = ctx.from_import(head)
+        if module:
+            return ".".join([module, original, *chain[1:]])
+        for module_name in _NET_MODULES:
+            if head in ctx.aliases_of(module_name) \
+                    and head != module_name.split(".")[0]:
+                return ".".join([module_name, *chain[1:]])
+        return ".".join(chain)
+
+
 def _module_string_constants(tree: ast.Module) -> frozenset:
     """Module-level names assigned a string literal (e.g. the schema DDL)."""
     names = set()
@@ -175,4 +245,4 @@ def _is_literal_sql(arg: ast.AST, literal_names: frozenset) -> bool:
     return False
 
 
-RULES = (NonAtomicWriteRule, StoreConnectionRule)
+RULES = (NonAtomicWriteRule, StoreConnectionRule, StoreClientRule)

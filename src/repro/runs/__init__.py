@@ -31,7 +31,15 @@ from repro.runs.artifacts import (
     stray_tmp_files,
 )
 from repro.runs.context import CampaignInterrupted, CellContext
-from repro.runs.faults import Fault, FaultInjector, FaultPlan, InjectedFault
+from repro.runs.faults import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    NetworkChaosPlan,
+    NetworkFault,
+    resolve_network_chaos_plan,
+)
 from repro.runs.registry import (
     ExperimentLike,
     get_experiment,
@@ -65,6 +73,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InjectedFault",
+    "NetworkChaosPlan",
+    "NetworkFault",
+    "resolve_network_chaos_plan",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_pickle",

@@ -8,8 +8,10 @@ Subcommands
              ``catalog.sqlite`` exists under the root; tree scan otherwise)
 ``results``  print the rows of an existing campaign artifact
 ``submit``   register a campaign in the catalogue + enqueue its cells
-``work``     drain the job queue as one cooperative worker
-``serve``    the campaign service HTTP API (submit/status/stream/query)
+``work``     drain the job queue as one cooperative worker (``--server`` for
+             remote HTTP draining with no catalogue file access)
+``serve``    the campaign service HTTP API (submit/status/stream/query/leases)
+``proxy``    a deterministic TCP chaos proxy in front of ``repro serve``
 ``query``    cross-run aggregation over the catalogue (cells or bench rows)
 ``store``    catalogue maintenance (``store ingest`` backfills legacy trees)
 
@@ -134,6 +136,24 @@ def _build_parser() -> argparse.ArgumentParser:
     work_parser.add_argument("--catalog", default=None,
                              help="explicit catalogue file (default: "
                                   "<root>/catalog.sqlite)")
+    work_parser.add_argument("--server", default=None,
+                             help="drain over HTTP from this 'repro serve' "
+                                  "URL instead of the local catalogue "
+                                  "(artifacts land under --root)")
+    work_parser.add_argument("--client-timeout", type=float, default=30.0,
+                             help="per-request deadline in seconds "
+                                  "(remote mode)")
+    work_parser.add_argument("--client-retries", type=int, default=6,
+                             help="retry budget per request after the first "
+                                  "attempt (remote mode)")
+    work_parser.add_argument("--client-backoff", type=float, default=0.25,
+                             help="base retry backoff seconds, doubling per "
+                                  "retry up to 8s (remote mode)")
+    work_parser.add_argument("--net-chaos", default=None,
+                             help="deterministic network fault injection: a "
+                                  "NetworkChaosPlan JSON file or inline JSON "
+                                  "(also via REPRO_NET_CHAOS_PLAN; remote "
+                                  "mode only)")
 
     serve_parser = commands.add_parser(
         "serve", help="run the campaign service HTTP API")
@@ -141,6 +161,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8642,
                               help="TCP port (0 picks a free one)")
+
+    proxy_parser = commands.add_parser(
+        "proxy", help="run a deterministic TCP chaos proxy in front of "
+                      "'repro serve'")
+    proxy_parser.add_argument("--upstream", required=True,
+                              help="upstream server as host:port")
+    proxy_parser.add_argument("--host", default="127.0.0.1")
+    proxy_parser.add_argument("--port", type=int, default=0,
+                              help="listen port (0 picks a free one)")
+    proxy_parser.add_argument("--plan", default=None,
+                              help="NetworkChaosPlan JSON file or inline JSON "
+                                   "(also via REPRO_NET_CHAOS_PLAN)")
 
     query_parser = commands.add_parser(
         "query", help="aggregate a metric across all catalogued runs")
@@ -327,14 +359,30 @@ def _command_submit(args: argparse.Namespace) -> int:
 
 
 def _command_work(args: argparse.Namespace) -> int:
+    from repro.store.client import RetryableTransportError, StoreClientError
     from repro.store.worker import work
 
-    summary = work(root=args.root, run_id=args.run_id,
-                   worker_id=args.worker_id, lease_ttl=args.lease_ttl,
-                   max_job_attempts=args.max_job_attempts,
-                   poll_seconds=args.poll, watch=args.watch,
-                   max_cells=args.max_cells, catalog_file=args.catalog)
+    try:
+        summary = work(root=args.root, run_id=args.run_id,
+                       worker_id=args.worker_id, lease_ttl=args.lease_ttl,
+                       max_job_attempts=args.max_job_attempts,
+                       poll_seconds=args.poll, watch=args.watch,
+                       max_cells=args.max_cells, catalog_file=args.catalog,
+                       server=args.server,
+                       client_timeout=args.client_timeout,
+                       client_retries=args.client_retries,
+                       client_backoff=args.client_backoff,
+                       chaos_plan=args.net_chaos)
+    except RetryableTransportError as error:
+        print(f"worker gave up: {error}", file=sys.stderr)
+        return 5
+    except StoreClientError as error:
+        print(f"worker protocol error: {error}", file=sys.stderr)
+        return 2
     print(dump_json(summary.to_dict(), indent=2))
+    if summary.interrupted:
+        print("worker interrupted by signal; lease released", file=sys.stderr)
+        return 3
     return 0 if summary.failed == 0 else 4
 
 
@@ -342,6 +390,22 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.store.server import serve
 
     serve(Path(args.root), host=args.host, port=args.port)
+    return 0
+
+
+def _command_proxy(args: argparse.Namespace) -> int:
+    from repro.runs.faults import NetworkChaosPlan, resolve_network_chaos_plan
+    from repro.store.chaos import run_proxy
+
+    host, _, port = args.upstream.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--upstream must be host:port, got {args.upstream!r}",
+              file=sys.stderr)
+        return 2
+    plan = resolve_network_chaos_plan(args.plan)
+    if plan is None:
+        plan = NetworkChaosPlan(faults=())
+    run_proxy((host, int(port)), plan, host=args.host, port=args.port)
     return 0
 
 
@@ -406,6 +470,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": _command_run, "list": _command_list,
                 "status": _command_status, "results": _command_results,
                 "submit": _command_submit, "work": _command_work,
-                "serve": _command_serve, "query": _command_query,
-                "store": _command_store}
+                "serve": _command_serve, "proxy": _command_proxy,
+                "query": _command_query, "store": _command_store}
     return handlers[args.command](args)

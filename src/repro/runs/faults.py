@@ -31,6 +31,38 @@ then resume to completion" deterministic.  Plans travel three ways:
 ``repro.run(fault_plan=...)``, the ``REPRO_RUN_FAULT_PLAN`` environment
 variable (inline JSON or a file path), and ``python -m repro run
 --fault-plan``.
+
+Network chaos
+-------------
+The multi-host campaign drain (``repro work --server``) gets its own plan
+type: a :class:`NetworkChaosPlan` describes the failures the *transport*
+injects, by request index rather than by artifact, with kinds
+
+``reset``
+    Connection reset before the request is delivered — the server never
+    sees it (always safe to retry).
+``http-500``
+    A synthetic 5xx response without touching the server (retryable).
+``stall``
+    Delay the request ``delay_seconds`` — a slow network/server; against
+    the TCP proxy this trips the client's per-request deadline.
+``drop-response``
+    Deliver the request, then lose the response — the dangerous half-open
+    case: the mutation *was* applied, the client must retry with the same
+    idempotency key, and the server must replay rather than re-apply.
+``duplicate``
+    Deliver the same request twice — the network-duplication case the
+    idempotency-key dedup must absorb.
+
+Two enforcement points consume these plans deterministically:
+:class:`repro.store.client.ChaosTransport` (in-process, wraps the
+``StoreClient`` transport) and :class:`repro.store.chaos.ChaosProxy` (a real
+TCP proxy for subprocess/CI drains).  Each fault names the request index it
+fires at, counted per fault over the requests matching its ``op`` filter,
+so a given plan always perturbs the same protocol steps.  Plans travel as
+``work(chaos_plan=...)``, the ``REPRO_NET_CHAOS_PLAN`` environment variable
+(inline JSON or a file path), and ``python -m repro work --net-chaos`` /
+``python -m repro proxy --plan``.
 """
 
 from __future__ import annotations
@@ -49,7 +81,14 @@ from repro.runs.context import CampaignInterrupted
 #: Environment variable carrying a fault plan (inline JSON or a file path).
 FAULT_PLAN_ENV_VAR = "REPRO_RUN_FAULT_PLAN"
 
+#: Environment variable carrying a network chaos plan (JSON or file path).
+NET_CHAOS_ENV_VAR = "REPRO_NET_CHAOS_PLAN"
+
 FAULT_KINDS = ("kill", "torn-write", "bit-flip", "stall")
+
+#: Transport-level fault kinds injected by the network chaos layer.
+NETWORK_FAULT_KINDS = ("reset", "http-500", "stall", "drop-response",
+                       "duplicate")
 
 #: Artifact kinds a fault can target, as the runner/context report them.
 ARTIFACT_KINDS = ("checkpoint", "result", "training-result", "history",
@@ -152,6 +191,108 @@ class FaultPlan:
         """The legacy hook: every cell is killed at its ``updates`` boundary."""
         return cls(faults=(Fault(kind="kill", cell=None, artifact="checkpoint",
                                  at_update=int(updates), once=False),))
+
+
+@dataclass(frozen=True)
+class NetworkFault:
+    """One transport-level fault.
+
+    Fields
+    ------
+    kind:
+        One of :data:`NETWORK_FAULT_KINDS`.
+    at_request:
+        0-based index of the request this fault fires at, counted **per
+        fault** over the requests matching its ``op`` filter — so two
+        faults with the same filter and different indices hit different
+        requests deterministically.
+    op:
+        Substring matched against the request path (``"complete"`` targets
+        ``POST /api/jobs/complete``); None matches every request.
+    delay_seconds:
+        ``stall`` only: how long the request is delayed.
+    """
+
+    kind: str
+    at_request: int = 0
+    op: Optional[str] = None
+    delay_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NETWORK_FAULT_KINDS:
+            raise ValueError(f"unknown network fault kind {self.kind!r};"
+                             f" choose from {NETWORK_FAULT_KINDS}")
+        if self.at_request < 0:
+            raise ValueError("at_request must be a non-negative request index")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkFault":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown NetworkFault fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class NetworkChaosPlan:
+    """A serializable set of transport faults for one campaign drain."""
+
+    faults: Tuple[NetworkFault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(
+            fault if isinstance(fault, NetworkFault)
+            else NetworkFault.from_dict(fault) for fault in self.faults))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"faults": [fault.to_dict() for fault in self.faults],
+                "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkChaosPlan":
+        known = {"faults", "seed"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown NetworkChaosPlan fields: {sorted(unknown)}")
+        return cls(faults=tuple(NetworkFault.from_dict(f)
+                                for f in data.get("faults", ())),
+                   seed=int(data.get("seed", 0)))
+
+    def to_json(self, **json_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **json_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetworkChaosPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def resolve_network_chaos_plan(
+        chaos_plan: Any = None,
+        environ: Optional[Mapping[str, str]] = None) -> Optional[NetworkChaosPlan]:
+    """Normalize the chaos-plan channels: argument, then env var, then None.
+
+    Accepts a :class:`NetworkChaosPlan`, a mapping, inline JSON text, or a
+    path to a JSON file — mirroring :func:`resolve_fault_plan`.
+    """
+    environ = os.environ if environ is None else environ
+    if chaos_plan is None and environ.get(NET_CHAOS_ENV_VAR):
+        chaos_plan = environ[NET_CHAOS_ENV_VAR]
+    if chaos_plan is None:
+        return None
+    if isinstance(chaos_plan, NetworkChaosPlan):
+        return chaos_plan
+    if isinstance(chaos_plan, Mapping):
+        return NetworkChaosPlan.from_dict(chaos_plan)
+    text = str(chaos_plan).strip()
+    if not text.startswith("{"):
+        text = Path(text).read_text()
+    return NetworkChaosPlan.from_json(text)
 
 
 def resolve_fault_plan(fault_plan: Any = None,

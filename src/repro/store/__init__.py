@@ -28,6 +28,13 @@ imports cycle-free.
 """
 
 from repro.store.catalog import Catalog, catalog_path, code_version, spec_hash
+from repro.store.client import (
+    ChaosTransport,
+    FatalRequestError,
+    RetryableTransportError,
+    StoreClient,
+    StoreClientError,
+)
 from repro.store.connection import CATALOG_NAME, StoreConnection, connect
 from repro.store.query import (
     aggregate_bench,
@@ -42,9 +49,14 @@ from repro.store.schema import SCHEMA_VERSION, ensure_schema
 __all__ = [
     "CATALOG_NAME",
     "Catalog",
+    "ChaosTransport",
+    "FatalRequestError",
     "Job",
     "JobQueue",
+    "RetryableTransportError",
     "SCHEMA_VERSION",
+    "StoreClient",
+    "StoreClientError",
     "StoreConnection",
     "aggregate_bench",
     "aggregate_metric",

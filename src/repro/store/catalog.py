@@ -210,6 +210,32 @@ class Catalog:
                 (status, run_id))
         return status
 
+    # ----------------------------------------------------------- idempotency
+    def idempotent_replay(self, key: Optional[str]) -> Optional[Dict[str, Any]]:
+        """The recorded response for an idempotency key (None when unseen).
+
+        Call inside the same :meth:`~repro.store.connection.StoreConnection
+        .transaction` that would apply the mutation: seen key -> return the
+        stored response without re-applying; unseen key -> apply, then
+        :meth:`idempotent_record` the response before the commit.
+        """
+        if key is None:
+            return None
+        row = self.conn.fetchone(
+            "SELECT response_json FROM idempotency WHERE key = ?", (key,))
+        return json.loads(row["response_json"]) if row is not None else None
+
+    def idempotent_record(self, key: Optional[str], endpoint: str,
+                          response: Mapping[str, Any]) -> None:
+        """Record a mutation's response under its idempotency key."""
+        if key is None:
+            return
+        self.conn.execute(
+            "INSERT OR REPLACE INTO idempotency (key, endpoint,"
+            " response_json, at_unix) VALUES (?, ?, ?,"
+            " CAST(strftime('%s','now') AS INTEGER))",
+            (key, endpoint, dump_json(response)))
+
     # --------------------------------------------------------------- reading
     def has_run(self, run_id: str) -> bool:
         return self.conn.scalar(

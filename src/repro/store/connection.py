@@ -62,6 +62,7 @@ class StoreConnection:
     def __init__(self, path: Path, timeout_ms: int = BUSY_TIMEOUT_MS):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._txn_depth = 0
         # The sole sanctioned sqlite3.connect in the repository (see module
         # docs; the artifacts.store-connection lint rule enforces this).
         self._conn = sqlite3.connect(self.path, timeout=timeout_ms / 1000.0,
@@ -104,13 +105,32 @@ class StoreConnection:
         ``immediate=True`` (the default) takes the write lock up front, so a
         read-modify-write section (a queue claim) cannot interleave with
         another worker's.
+
+        Re-entrant: a ``transaction()`` opened while another is active on the
+        same connection joins the outer one instead of issuing a nested
+        ``BEGIN`` (SQLite has no nested transactions).  The server's
+        exactly-once mutation endpoints rely on this — the idempotency-key
+        lookup, the queue transition, and the catalogue cell upsert all
+        commit (or roll back) as one unit even though each helper guards
+        itself with ``transaction()``.  An exception escaping any depth rolls
+        the whole outermost transaction back.
         """
+        if self._txn_depth > 0:
+            self._txn_depth += 1
+            try:
+                yield
+            finally:
+                self._txn_depth -= 1
+            return
         self.execute("BEGIN IMMEDIATE" if immediate else "BEGIN")
+        self._txn_depth = 1
         try:
             yield
         except BaseException:
+            self._txn_depth = 0
             self.execute("ROLLBACK")
             raise
+        self._txn_depth = 0
         self.execute("COMMIT")
 
     # ---------------------------------------------------------------- clock

@@ -30,10 +30,19 @@ service knows:
     (worker id + expiry on the catalogue's clock), and an append-only log of
     every lease transition (claimed/heartbeat/completed/failed/released/
     reclaimed) that the chaos tests assert against.
+``idempotency``
+    Exactly-once bookkeeping for the HTTP lease protocol (schema v2): every
+    mutating request carries a client-generated idempotency key, and the
+    server records ``key -> response`` in the same transaction that applies
+    the mutation.  A retried request after a lost response (or a duplicated
+    delivery from the network) replays the recorded response instead of
+    re-applying — which is what makes a retried ``complete`` unable to
+    double-apply.
 
 Schema changes bump :data:`SCHEMA_VERSION`; ``ensure_schema`` refuses to
-open a catalogue written by a newer version (old catalogues re-apply the
-idempotent DDL).
+open a catalogue written by a newer version, and upgrades older catalogues
+in place (the DDL is idempotent, so re-applying it adds any missing
+tables).
 """
 
 from __future__ import annotations
@@ -43,7 +52,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.store.connection import StoreConnection
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Job states in the cooperative queue.
 JOB_STATES = ("pending", "leased", "done", "failed")
@@ -140,14 +149,24 @@ CREATE TABLE IF NOT EXISTS lease_events (
     detail     TEXT,
     at_unix    INTEGER NOT NULL
 );
+
+CREATE TABLE IF NOT EXISTS idempotency (
+    key           TEXT PRIMARY KEY,
+    endpoint      TEXT NOT NULL,
+    response_json TEXT NOT NULL,
+    at_unix       INTEGER NOT NULL
+);
 """
 
 
 def ensure_schema(conn: "StoreConnection") -> None:
-    """Create the schema if missing; refuse a catalogue from the future."""
+    """Create/upgrade the schema; refuse a catalogue from the future."""
     conn.executescript(SCHEMA_SQL)
     recorded = conn.scalar("SELECT value FROM meta WHERE key = 'schema_version'")
-    if recorded is None:
+    if recorded is None or int(recorded) < SCHEMA_VERSION:
+        # Fresh catalogue, or an older one: the idempotent DDL above already
+        # added any tables this version introduced, so only the version
+        # stamp needs updating.
         conn.execute(
             "INSERT OR REPLACE INTO meta (key, value) "
             "VALUES ('schema_version', ?)", (str(SCHEMA_VERSION),))

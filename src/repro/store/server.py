@@ -1,13 +1,15 @@
 """``repro serve`` — the campaign service's HTTP face (stdlib only).
 
 A small JSON API over :class:`http.server.ThreadingHTTPServer`; the server
-owns no execution — it records submissions in the catalogue/queue and
-answers reads, while ``repro work`` processes (local or remote, sharing the
-catalogue file) do the draining.
+owns no execution — it records submissions in the catalogue/queue, answers
+reads, and (since PR 9) speaks the full lease protocol so remote
+``repro work --server`` workers can drain a campaign with no catalogue file
+access.
 
 Endpoints
 ---------
-``GET  /api/health``                     liveness + catalogue path
+``GET  /api/health``                     liveness + queue depth + lease count
+                                         + draining flag
 ``GET  /api/experiments``                registered experiment ids
 ``POST /api/campaigns``                  submit: ``{"experiment": "table5",
                                          "scale": "smoke", "seed": 0}``
@@ -16,11 +18,31 @@ Endpoints
 ``GET  /api/campaigns/<id>/rows``        finished rows in cell order
 ``GET  /api/campaigns/<id>/stream``      JSON-lines event stream: a snapshot,
                                          then one event per newly finished
-                                         cell, then a terminal run event
-``GET  /api/query?metric=accuracy&by=defense[&experiment=..][&scale=..]``
-                                         cross-run aggregation
-``GET  /api/query?bench=1&metric=speedup&by=num_envs[&benchmark=..]``
-                                         perf-trajectory aggregation
+                                         cell, then a terminal run /
+                                         timeout / shutdown event
+``GET  /api/jobs[?run_id=..]``           queue counts + outstanding jobs
+``POST /api/jobs/claim``                 lease the next job (503 while
+                                         draining)
+``POST /api/jobs/heartbeat``             extend a lease
+``POST /api/jobs/complete``              upload a finished row, mark done
+``POST /api/jobs/release``               give a failed job back
+``GET  /api/query?metric=..&by=..``      cross-run aggregation
+
+Exactly-once mutations: every mutating job request may carry an
+``idempotency_key``; the key lookup, the queue transition, the catalogue
+cell upsert, and the response recording all commit in **one** transaction
+(see :meth:`~repro.store.connection.StoreConnection.transaction` —
+re-entrant precisely for this).  A retried or duplicated delivery replays
+the recorded response with ``"replayed": true`` instead of re-applying, so
+``lease_events`` carries exactly one applied ``completed`` event per cell no
+matter what the network does.
+
+Hardening: per-connection read timeouts (a stalled client cannot pin a
+handler thread), a request body cap (413 past it), and graceful drain —
+SIGTERM (or :meth:`CampaignServer.initiate_drain`) finishes in-flight
+requests, terminates long-poll streams with a ``shutdown`` event within one
+poll interval, and refuses new claims with 503 so workers fail over or back
+off.
 
 Every request opens its own catalogue connection (SQLite connections are
 thread-bound; the handler pool is threaded), so concurrent submits, streams,
@@ -30,39 +52,80 @@ and worker writes coexist under WAL.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.rl.stats import dump_json
+from repro.runs.artifacts import atomic_write_json
 from repro.store.catalog import Catalog, catalog_path
 from repro.store.query import aggregate_bench, aggregate_metric
-from repro.store.queue import JobQueue
+from repro.store.queue import (
+    DEFAULT_JOB_ATTEMPTS,
+    DEFAULT_LEASE_TTL,
+    Job,
+    JobQueue,
+)
 
 DEFAULT_PORT = 8642
 
-#: Seconds between catalogue polls while streaming campaign events.
+#: Seconds between catalogue polls while streaming campaign events (also the
+#: worst-case latency for a stream to observe a server shutdown).
 STREAM_POLL_SECONDS = 0.25
 
 #: Default wall-clock budget of one stream request.
 STREAM_TIMEOUT_SECONDS = 300.0
 
+#: Per-connection socket read deadline (seconds).
+REQUEST_TIMEOUT_SECONDS = 30.0
+
+#: Largest accepted request body; anything bigger is answered with 413.
+MAX_BODY_BYTES = 8_000_000
+
 
 class CampaignServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer bound to one runs root + catalogue file."""
+    """ThreadingHTTPServer bound to one runs root + catalogue file.
 
-    daemon_threads = True
+    Non-daemon handler threads + ``block_on_close`` make ``server_close()``
+    *join* in-flight requests — safe because every long-poll observes
+    :attr:`shutdown_event` and exits within one poll interval.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    max_body_bytes = MAX_BODY_BYTES
 
     def __init__(self, root: Path, address: Tuple[str, int]):
         self.root = Path(root)
         self.catalog_file = catalog_path(self.root)
+        self.shutdown_event = threading.Event()
+        self.draining = False
         super().__init__(address, CampaignRequestHandler)
+
+    def shutdown(self) -> None:
+        # Wake long-poll streams *before* stopping the accept loop, so the
+        # serve_forever caller is never left joining a 300-second stream.
+        self.shutdown_event.set()
+        super().shutdown()
+
+    def initiate_drain(self) -> None:
+        """Graceful SIGTERM drain: refuse new claims, terminate streams,
+        finish in-flight requests, then stop.  Returns immediately; the
+        actual ``shutdown()`` must run off the serve_forever thread (calling
+        it inline from a handler or a signal landing on that thread would
+        deadlock)."""
+        self.draining = True
+        self.shutdown_event.set()
+        threading.Thread(target=self.shutdown, daemon=True).start()
 
 
 class CampaignRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
+    timeout = REQUEST_TIMEOUT_SECONDS
     server: CampaignServer
 
     # ----------------------------------------------------------- dispatching
@@ -72,9 +135,7 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
         try:
             if parts == ["api", "health"]:
-                self._json(200, {"ok": True,
-                                 "catalog": str(self.server.catalog_file),
-                                 "root": str(self.server.root)})
+                self._health()
             elif parts == ["api", "experiments"]:
                 from repro.runs.registry import list_experiments
 
@@ -90,6 +151,8 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             elif len(parts) == 4 and parts[:2] == ["api", "campaigns"] \
                     and parts[3] == "stream":
                 self._stream(parts[2], query)
+            elif parts == ["api", "jobs"]:
+                self._jobs_overview(query)
             elif parts == ["api", "query"]:
                 self._query(query)
             else:
@@ -107,6 +170,14 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
         try:
             if parts == ["api", "campaigns"]:
                 self._submit()
+            elif parts == ["api", "jobs", "claim"]:
+                self._job_claim()
+            elif parts == ["api", "jobs", "heartbeat"]:
+                self._job_heartbeat()
+            elif parts == ["api", "jobs", "complete"]:
+                self._job_complete()
+            elif parts == ["api", "jobs", "release"]:
+                self._job_release()
             else:
                 self._json(404, {"error": f"no route for {url.path}"})
         except (ValueError, KeyError) as error:
@@ -115,15 +186,40 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             self._json(500, {"error": f"{type(error).__name__}: {error}"})
 
     # -------------------------------------------------------------- handlers
-    def _submit(self) -> None:
-        from repro.store.worker import submit_campaign
-
+    def _read_body(self) -> Dict[str, Any]:
+        """The request's JSON body (413 past the size cap, 400 on bad JSON)."""
         length = int(self.headers.get("Content-Length", "0"))
+        if length > self.server.max_body_bytes:
+            self.close_connection = True
+            self._json(413, {"error": f"request body of {length} bytes "
+                             f"exceeds the {self.server.max_body_bytes}-byte"
+                             " cap"})
+            raise _Responded()
         try:
             body = json.loads(self.rfile.read(length) or b"{}")
         except json.JSONDecodeError as error:
             raise ValueError(f"request body is not JSON: {error}")
-        if not isinstance(body, dict) or "experiment" not in body:
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _health(self) -> None:
+        with Catalog(self.server.catalog_file) as catalog:
+            counts = JobQueue(catalog).counts()
+        self._json(200, {
+            "ok": True, "catalog": str(self.server.catalog_file),
+            "root": str(self.server.root),
+            "draining": self.server.draining,
+            "queue": counts,
+            "queue_depth": counts.get("pending", 0),
+            "active_leases": counts.get("leased", 0),
+        })
+
+    def _submit(self) -> None:
+        from repro.store.worker import submit_campaign
+
+        body = self._read_body()
+        if "experiment" not in body:
             raise ValueError('body must be a JSON object with "experiment"')
         submission = submit_campaign(
             body["experiment"], scale=body.get("scale"),
@@ -134,6 +230,131 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             fault_plan=body.get("fault_plan"))
         self._json(201, {"submitted": submission.to_dict()})
 
+    # ----------------------------------------------------- the lease protocol
+    def _mutate(self, endpoint: str, body: Dict[str, Any],
+                apply: "Callable[[Catalog], Dict[str, Any]]") -> Dict[str, Any]:
+        """Run one exactly-once mutation and send its JSON response.
+
+        Key lookup, mutation, and response recording share one transaction:
+        either the mutation applied *and* its response is replayable, or
+        neither happened.  Returns the response for post-commit follow-ups.
+        """
+        key = body.get("idempotency_key")
+        with Catalog(self.server.catalog_file) as catalog:
+            with catalog.conn.transaction():
+                replayed = catalog.idempotent_replay(key)
+                if replayed is not None:
+                    response = dict(replayed)
+                    response["replayed"] = True
+                else:
+                    response = apply(catalog)
+                    catalog.idempotent_record(key, endpoint, response)
+            self._json(200, response)
+        return response
+
+    def _job_claim(self) -> None:
+        if self.server.draining:
+            self.close_connection = True
+            self._json(503, {"error": "server is draining; claims refused",
+                             "draining": True})
+            return
+        body = self._read_body()
+        worker = str(body.get("worker") or "remote")
+
+        def apply(catalog: Catalog) -> Dict[str, Any]:
+            queue = JobQueue(catalog, max_job_attempts=int(
+                body.get("max_job_attempts", DEFAULT_JOB_ATTEMPTS)))
+            job = queue.claim(worker, run_id=body.get("run_id"),
+                              lease_ttl=int(body.get("lease_ttl",
+                                                     DEFAULT_LEASE_TTL)))
+            if job is None:
+                return {"job": None,
+                        "outstanding": queue.outstanding(body.get("run_id"))}
+            return {"job": {"run_id": job.run_id,
+                            "cell_index": job.cell_index,
+                            "payload": job.payload,
+                            "attempts": job.attempts,
+                            "reclaimed_from": job.reclaimed_from}}
+
+        self._mutate("claim", body, apply)
+
+    def _job_from(self, catalog: Catalog, body: Dict[str, Any]) -> Job:
+        """Rebuild the queue's view of the job a remote worker refers to."""
+        run_id = str(body["run_id"])
+        cell_index = int(body["cell_index"])
+        row = catalog.conn.fetchone(
+            "SELECT attempts, payload_json FROM jobs"
+            " WHERE run_id = ? AND cell_index = ?", (run_id, cell_index))
+        if row is None:
+            raise ValueError(f"no job for {run_id!r} cell {cell_index}")
+        return Job(run_id=run_id, cell_index=cell_index,
+                   payload=json.loads(row["payload_json"]),
+                   attempts=int(row["attempts"]))
+
+    def _job_heartbeat(self) -> None:
+        body = self._read_body()
+        # Heartbeats are naturally idempotent (each just extends the
+        # expiry), so they bypass the key machinery.
+        with Catalog(self.server.catalog_file) as catalog:
+            try:
+                job = self._job_from(catalog, body)
+            except ValueError:
+                self._json(200, {"alive": False})
+                return
+            alive = JobQueue(catalog).heartbeat(
+                job, str(body["worker"]),
+                lease_ttl=int(body.get("lease_ttl", DEFAULT_LEASE_TTL)))
+            self._json(200, {"alive": alive})
+
+    def _job_complete(self) -> None:
+        body = self._read_body()
+        worker = str(body["worker"])
+        status = str(body.get("status", "completed"))
+
+        def apply(catalog: Catalog) -> Dict[str, Any]:
+            job = self._job_from(catalog, body)
+            applied = JobQueue(catalog).complete(job, worker)
+            if applied:
+                catalog.record_cell(
+                    job.run_id, job.cell_index,
+                    body.get("params") or job.payload.get("params", {}),
+                    status, row=body.get("row"),
+                    attempts=int(body.get("attempts", job.attempts)),
+                    elapsed_seconds=body.get("elapsed_seconds"))
+            return {"applied": applied, "run_id": job.run_id,
+                    "cell_index": job.cell_index}
+
+        self._mutate("complete", body, apply)
+        with Catalog(self.server.catalog_file) as catalog:
+            finalize_from_catalog(catalog, str(body["run_id"]))
+
+    def _job_release(self) -> None:
+        body = self._read_body()
+        worker = str(body["worker"])
+
+        def apply(catalog: Catalog) -> Dict[str, Any]:
+            job = self._job_from(catalog, body)
+            queue = JobQueue(catalog, max_job_attempts=int(
+                body.get("max_job_attempts", DEFAULT_JOB_ATTEMPTS)))
+            state = queue.release(job, worker, error=body.get("error"))
+            catalog.record_cell(
+                job.run_id, job.cell_index,
+                body.get("params") or job.payload.get("params", {}),
+                str(body.get("status", "failed")), error=body.get("error"),
+                attempts=int(body.get("attempts", job.attempts)))
+            return {"state": state, "run_id": job.run_id,
+                    "cell_index": job.cell_index}
+
+        self._mutate("release", body, apply)
+
+    def _jobs_overview(self, query: Dict[str, str]) -> None:
+        run_id = query.get("run_id")
+        with Catalog(self.server.catalog_file) as catalog:
+            queue = JobQueue(catalog)
+            self._json(200, {"run_id": run_id, "counts": queue.counts(run_id),
+                             "outstanding": queue.outstanding(run_id)})
+
+    # ------------------------------------------------------------- campaigns
     def _campaign_detail(self, run_id: str) -> None:
         with Catalog(self.server.catalog_file) as catalog:
             info = catalog.run_info(run_id)
@@ -171,7 +392,13 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
                          "rows": rows})
 
     def _stream(self, run_id: str, query: Dict[str, str]) -> None:
-        """JSON-lines campaign events until completion (or the timeout)."""
+        """JSON-lines campaign events until completion, timeout, or shutdown.
+
+        The loop never sleeps blindly: it waits on the server's
+        ``shutdown_event``, so a draining server terminates every stream
+        with a ``shutdown`` event within one poll interval instead of
+        holding its handler thread for up to the full stream timeout.
+        """
         timeout = float(query.get("timeout", STREAM_TIMEOUT_SECONDS))
         deadline = time.perf_counter() + timeout
         self.send_response(200)
@@ -211,7 +438,10 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
                 self._stream_line({"event": "timeout", "run_id": run_id,
                                    "status": info["status"]})
                 return
-            time.sleep(STREAM_POLL_SECONDS)
+            if self.server.shutdown_event.wait(STREAM_POLL_SECONDS):
+                self._stream_line({"event": "shutdown", "run_id": run_id,
+                                   "status": info["status"]})
+                return
 
     # --------------------------------------------------------------- plumbing
     def _json(self, code: int, payload: Any) -> None:
@@ -229,6 +459,49 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # quiet by default; the CLI prints the endpoint once
 
+    def handle(self) -> None:
+        # A _Responded raised mid-handler means the response already went
+        # out (the 413 path); swallow it here rather than crash the thread.
+        try:
+            super().handle()
+        except _Responded:
+            pass
+
+
+class _Responded(BaseException):
+    """Internal: the handler already sent a response; stop processing.
+
+    Derives from ``BaseException`` so the dispatchers' defensive
+    ``except Exception`` blocks cannot turn it into a second (500)
+    response on the same connection.
+    """
+
+
+def finalize_from_catalog(catalog: Catalog, run_id: str) -> None:
+    """Write a drained run's ``results.json`` from its catalogue rows.
+
+    The server-side twin of the worker's tree-based ``_finalize_run``:
+    remote workers never touch the server host's artifact tree, so once the
+    queue has nothing outstanding and every cell row landed, the *server*
+    materializes ``results.json``.  Rows round-trip through the same
+    canonical ``dump_json`` as the runner's, so the file is byte-identical
+    to a serial ``repro.run()``.
+    """
+    if JobQueue(catalog).outstanding(run_id) != 0:
+        return
+    info = catalog.conn.fetchone(
+        "SELECT experiment, scale, seed, out_dir FROM runs"
+        " WHERE run_id = ?", (run_id,))
+    if info is None:
+        return
+    rows = catalog.rows(run_id)
+    if not rows or any(row is None for row in rows):
+        return
+    atomic_write_json(Path(info["out_dir"]) / "results.json", {
+        "experiment": info["experiment"], "scale": info["scale"],
+        "seed": int(info["seed"]), "rows": rows,
+    }, indent=2)
+
 
 def make_server(root: Path, host: str = "127.0.0.1",
                 port: int = DEFAULT_PORT) -> CampaignServer:
@@ -238,18 +511,33 @@ def make_server(root: Path, host: str = "127.0.0.1",
 
 def serve(root: Path, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
           ready_message: Optional[Any] = print) -> None:
-    """Run the campaign service until interrupted."""
+    """Run the campaign service until interrupted (SIGTERM drains gracefully)."""
     server = make_server(root, host, port)
     bound_host, bound_port = server.server_address[:2]
     if ready_message is not None:
         ready_message(f"repro serve: http://{bound_host}:{bound_port}/api/ "
                       f"(root={root}, catalog={server.catalog_file})")
+    previous = None
+    installed = threading.current_thread() is threading.main_thread()
+    if installed:
+        previous = signal.signal(signal.SIGTERM,
+                                 lambda *_: server.initiate_drain())
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        server.shutdown_event.set()
     finally:
+        if installed:
+            signal.signal(signal.SIGTERM, previous)
         server.server_close()
 
 
-__all__ = ["CampaignServer", "DEFAULT_PORT", "make_server", "serve"]
+__all__ = [
+    "CampaignServer",
+    "DEFAULT_PORT",
+    "MAX_BODY_BYTES",
+    "REQUEST_TIMEOUT_SECONDS",
+    "finalize_from_catalog",
+    "make_server",
+    "serve",
+]

@@ -1,4 +1,4 @@
-"""Campaign submission and the ``repro work`` drain loop.
+"""Campaign submission and the ``repro work`` drain loop (local + remote).
 
 ``submit_campaign`` turns an experiment into durable queue state: it writes
 the campaign's ``manifest.json`` (exactly as ``repro.run()`` would), records
@@ -11,28 +11,45 @@ strict/lenient/retry/fault semantics as ``repro.run()``), heartbeat the
 lease from a background thread while the cell runs, then mark the job done
 together with the catalogue cell row.  N workers on one catalogue drain a
 campaign cooperatively; a killed worker's lease expires and its cell is
-reclaimed and re-run from its last checkpoint, so the drained campaign is
-bit-identical to a serial ``repro.run()`` of the same experiment.
+reclaimed and re-run, so the drained campaign is bit-identical to a serial
+``repro.run()`` of the same experiment.
 
-The drain loop exits when the target queue has no outstanding jobs (or
-immediately claims again while there are).  ``watch=True`` keeps the worker
-alive polling for new submissions — the long-lived service mode behind
-``repro serve``.
+Two queue backends share that loop:
+
+* **local** (the default): the worker opens the catalogue file directly —
+  same-host draining, exactly as in PR 8;
+* **remote** (``server="http://host:port"``): the worker speaks the lease
+  protocol over HTTP through :class:`~repro.store.client.StoreClient` —
+  deadline, bounded deterministic retries, idempotency keys — and never
+  touches the catalogue.  Cell artifacts land under a *local* root
+  (payload paths are remapped per host); the finished row is uploaded with
+  ``complete`` and the **server** materializes ``results.json`` from the
+  catalogue.  Cells are deterministic in (params, scale, seed), so a cell
+  reclaimed across hosts recomputes the identical row without any shared
+  filesystem.
+
+Signals: SIGTERM/SIGINT interrupt the drain loop cleanly — the worker
+releases its current lease (recorded as ``released`` in ``lease_events``,
+job back to ``pending``), marks its summary ``interrupted``, and the CLI
+exits non-zero.  No cell is ever left leased to a dead worker longer than
+the signal handling takes.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import socket
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.experiments.common import ScaleLike, resolve_scale
 from repro.runs.artifacts import atomic_write_json, load_json
-from repro.runs.faults import resolve_fault_plan
+from repro.runs.faults import resolve_fault_plan, resolve_network_chaos_plan
 from repro.runs.registry import ExperimentLike, resolve_experiment
 from repro.runs.runner import (
     _attempt_cell,
@@ -42,6 +59,15 @@ from repro.runs.runner import (
     cell_slug,
 )
 from repro.store.catalog import Catalog, catalog_path
+from repro.store.client import (
+    DEFAULT_BACKOFF_SECONDS,
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_TIMEOUT_SECONDS,
+    ChaosTransport,
+    FatalRequestError,
+    RetryableTransportError,
+    StoreClient,
+)
 from repro.store.queue import (
     DEFAULT_JOB_ATTEMPTS,
     DEFAULT_LEASE_TTL,
@@ -130,16 +156,61 @@ class WorkerSummary:
     failed: int = 0
     released: int = 0
     reclaimed: int = 0
+    interrupted: bool = False
     cells: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {"worker_id": self.worker_id, "completed": self.completed,
                 "failed": self.failed, "released": self.released,
-                "reclaimed": self.reclaimed, "cells": self.cells}
+                "reclaimed": self.reclaimed,
+                "interrupted": self.interrupted, "cells": self.cells}
+
+
+class WorkerSignalled(BaseException):
+    """SIGTERM/SIGINT reached the drain loop.
+
+    A ``BaseException`` so the runner's ``except Exception`` retry paths
+    cannot swallow it — the signal must reach the loop that releases the
+    lease.
+    """
+
+    def __init__(self, signum: int):
+        self.signum = signum
+        self.name = signal.Signals(signum).name
+        super().__init__(f"worker received {self.name}")
+
+
+class _SignalGuard:
+    """Convert SIGTERM/SIGINT into :class:`WorkerSignalled` for one scope.
+
+    Only installs handlers on the main thread (``signal.signal`` refuses
+    anywhere else — tests drive ``work()`` from helper threads); restores
+    the previous handlers on exit.
+    """
+
+    def __init__(self) -> None:
+        self._previous: List[Any] = []
+        self._installed = False
+
+    def __enter__(self) -> "_SignalGuard":
+        if threading.current_thread() is threading.main_thread():
+            def raise_signalled(signum: int, _frame: Any) -> None:
+                raise WorkerSignalled(signum)
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                self._previous.append(
+                    (signum, signal.signal(signum, raise_signalled)))
+            self._installed = True
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._installed:
+            for signum, previous in self._previous:
+                signal.signal(signum, previous)
 
 
 class _Heartbeat:
-    """Background lease renewal while a cell executes.
+    """Background lease renewal while a cell executes (local backend).
 
     Runs on its own catalogue connection (SQLite connections are
     thread-bound); only touches the lease row, never the cell's computation,
@@ -163,6 +234,45 @@ class _Heartbeat:
                     return  # lease lost; the claim's new owner re-runs the cell
 
     def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class _RemoteHeartbeat:
+    """Background lease renewal over HTTP (remote backend).
+
+    Uses a dedicated **chaos-free** client: heartbeats fire on a timer, so
+    letting them consume chaos request indices would make the drain
+    protocol's fault schedule nondeterministic.  A transport error here is
+    tolerated (the lease may lapse and be reclaimed — exactly the semantics
+    a dead network should have); a fatal protocol error stops the thread.
+    """
+
+    def __init__(self, client: StoreClient, job: Job, lease_ttl: int):
+        self._client = client
+        self._job = job
+        self._ttl = int(lease_ttl)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        interval = max(1.0, self._ttl / 3.0)
+        while not self._stop.wait(interval):
+            try:
+                if not self._client.heartbeat(self._job.run_id,
+                                              self._job.cell_index,
+                                              self._ttl):
+                    return  # lease lost to a reclaim
+            except RetryableTransportError:
+                continue  # server unreachable; keep trying until told to stop
+            except FatalRequestError:
+                return
+
+    def __enter__(self) -> "_RemoteHeartbeat":
         self._thread.start()
         return self
 
@@ -197,64 +307,227 @@ def _finalize_run(catalog: Catalog, out_dir: Path) -> None:
     }, indent=2)
 
 
+class _LocalBackend:
+    """Queue access through the catalogue file (same-host draining)."""
+
+    def __init__(self, path: Path, worker_id: str, max_job_attempts: int):
+        self.path = Path(path)
+        self.worker_id = worker_id
+        self.catalog = Catalog(self.path)
+        self.queue = JobQueue(self.catalog, max_job_attempts=max_job_attempts)
+
+    def claim(self, run_id: Optional[str], lease_ttl: int) -> Optional[Job]:
+        return self.queue.claim(self.worker_id, run_id=run_id,
+                                lease_ttl=lease_ttl)
+
+    def heartbeat_channel(self, job: Job, lease_ttl: int) -> Any:
+        return _Heartbeat(self.path, job, self.worker_id, lease_ttl)
+
+    def localize(self, job: Job) -> Dict[str, Any]:
+        return dict(job.payload)
+
+    def complete(self, job: Job, status: str, row: Optional[Mapping[str, Any]],
+                 attempts: int, elapsed: Optional[float]) -> bool:
+        if not self.queue.complete(job, self.worker_id):
+            return False
+        self.catalog.record_cell(job.run_id, job.cell_index,
+                                 job.payload["params"], status, row=row,
+                                 attempts=attempts, elapsed_seconds=elapsed)
+        return True
+
+    def release(self, job: Job, status: str, error: Optional[str],
+                attempts: int) -> str:
+        state = self.queue.release(job, self.worker_id, error=error)
+        self.catalog.record_cell(job.run_id, job.cell_index,
+                                 job.payload["params"], status, error=error,
+                                 attempts=attempts)
+        return state
+
+    def outstanding(self, run_id: Optional[str]) -> int:
+        return self.queue.outstanding(run_id)
+
+    def finalize(self, job: Job) -> None:
+        if self.queue.outstanding(job.run_id) == 0:
+            _finalize_run(self.catalog, Path(job.payload["out_dir"]))
+
+    def close(self) -> None:
+        self.catalog.close()
+
+
+class _RemoteBackend:
+    """Queue access over HTTP through :class:`StoreClient`.
+
+    Payload paths are remapped under ``local_root`` (artifacts land on the
+    *worker's* host); the server finalizes ``results.json`` from uploaded
+    rows, so :meth:`finalize` is a no-op here.
+    """
+
+    def __init__(self, server: str, worker_id: str, local_root: Path,
+                 max_job_attempts: int, timeout: float, retries: int,
+                 backoff: float, chaos_plan: Any = None):
+        self.worker_id = worker_id
+        self.local_root = Path(local_root)
+        self.max_job_attempts = int(max_job_attempts)
+        seed = zlib.crc32(worker_id.encode("utf-8"))
+        self.client = StoreClient(server, worker_id=worker_id,
+                                  timeout=timeout, max_retries=retries,
+                                  backoff=backoff, retry_seed=seed)
+        if chaos_plan is not None and chaos_plan.faults:
+            self.client.transport = ChaosTransport(self.client.transport,
+                                                   chaos_plan)
+        # Heartbeats go through their own chaos-free client so their
+        # timer-driven requests never consume chaos request indices.
+        self.heartbeat_client = StoreClient(server, worker_id=worker_id,
+                                            timeout=timeout,
+                                            max_retries=retries,
+                                            backoff=backoff,
+                                            retry_seed=seed ^ 0xBEEF)
+
+    def claim(self, run_id: Optional[str], lease_ttl: int) -> Optional[Job]:
+        record = self.client.claim(run_id=run_id, lease_ttl=lease_ttl,
+                                   max_job_attempts=self.max_job_attempts)
+        if record is None:
+            return None
+        return Job(run_id=record["run_id"],
+                   cell_index=int(record["cell_index"]),
+                   payload=dict(record["payload"]),
+                   attempts=int(record["attempts"]),
+                   reclaimed_from=record.get("reclaimed_from"))
+
+    def heartbeat_channel(self, job: Job, lease_ttl: int) -> Any:
+        return _RemoteHeartbeat(self.heartbeat_client, job, lease_ttl)
+
+    def localize(self, job: Job) -> Dict[str, Any]:
+        """Remap the payload's artifact paths onto this worker's host."""
+        payload = dict(job.payload)
+        slug = Path(payload["cell_dir"]).name
+        out_dir = self.local_root / job.run_id
+        payload["out_dir"] = str(out_dir)
+        payload["cell_dir"] = str(out_dir / "cells" / slug)
+        return payload
+
+    def complete(self, job: Job, status: str, row: Optional[Mapping[str, Any]],
+                 attempts: int, elapsed: Optional[float]) -> bool:
+        response = self.client.complete(
+            job.run_id, job.cell_index, status=status, row=row,
+            params=job.payload["params"], attempts=attempts,
+            elapsed_seconds=elapsed)
+        return bool(response.get("applied"))
+
+    def release(self, job: Job, status: str, error: Optional[str],
+                attempts: int) -> str:
+        response = self.client.release(job.run_id, job.cell_index,
+                                       status=status, error=error,
+                                       params=job.payload["params"],
+                                       attempts=attempts)
+        return str(response.get("state", "pending"))
+
+    def outstanding(self, run_id: Optional[str]) -> int:
+        return self.client.outstanding(run_id)
+
+    def finalize(self, job: Job) -> None:
+        pass  # the server materializes results.json from catalogue rows
+
+    def close(self) -> None:
+        pass
+
+
 def work(root: os.PathLike = "runs", run_id: Optional[str] = None,
          worker_id: Optional[str] = None,
          lease_ttl: int = DEFAULT_LEASE_TTL,
          max_job_attempts: int = DEFAULT_JOB_ATTEMPTS,
          poll_seconds: float = 0.5, watch: bool = False,
          max_cells: Optional[int] = None,
-         catalog_file: Optional[os.PathLike] = None) -> WorkerSummary:
-    """Drain the queue at ``root`` (optionally one campaign) as one worker."""
+         catalog_file: Optional[os.PathLike] = None,
+         server: Optional[str] = None,
+         local_root: Optional[os.PathLike] = None,
+         client_timeout: float = DEFAULT_TIMEOUT_SECONDS,
+         client_retries: int = DEFAULT_MAX_RETRIES,
+         client_backoff: float = DEFAULT_BACKOFF_SECONDS,
+         chaos_plan: Any = None) -> WorkerSummary:
+    """Drain the queue (optionally one campaign) as one worker.
+
+    ``server=None`` drains through the catalogue file at ``root`` /
+    ``catalog_file``; ``server="http://host:port"`` drains over HTTP with
+    artifacts under ``local_root`` (default: ``root``).  ``chaos_plan`` (or
+    the ``REPRO_NET_CHAOS_PLAN`` env var) wraps the remote transport in
+    deterministic fault injection — drain-protocol calls only, never
+    heartbeats.
+    """
     worker_id = worker_id or default_worker_id()
-    path = Path(catalog_file) if catalog_file is not None else catalog_path(
-        Path(root))
     summary = WorkerSummary(worker_id=worker_id)
-    with Catalog(path) as catalog:
-        queue = JobQueue(catalog, max_job_attempts=max_job_attempts)
-        while True:
-            if max_cells is not None and len(summary.cells) >= max_cells:
-                break
-            job = queue.claim(worker_id, run_id=run_id, lease_ttl=lease_ttl)
-            if job is None:
-                if watch or queue.outstanding(run_id):
-                    # Another worker holds a live lease (or new work may
-                    # arrive): wait instead of abandoning the drain.
-                    time.sleep(poll_seconds)
-                    continue
-                break
-            if job.reclaimed_from is not None:
-                summary.reclaimed += 1
-            with _Heartbeat(path, job, worker_id, lease_ttl):
-                outcome = _attempt_cell(dict(job.payload))
-            status = outcome.get("status", "failed")
-            cell_dir = Path(job.payload["cell_dir"])
-            record = {"index": job.cell_index, "run_id": job.run_id,
-                      "status": status, "attempts": job.attempts}
-            if status in ("completed", "cached"):
-                if queue.complete(job, worker_id):
-                    catalog.record_cell(
-                        job.run_id, job.cell_index, job.payload["params"],
-                        status, row=outcome.get("row"),
-                        attempts=outcome.get("attempt", job.attempts),
-                        elapsed_seconds=_elapsed_from(cell_dir))
-                    summary.completed += 1
-                # else: the lease was reclaimed while we ran; the new owner
-                # re-executes the (idempotent) cell and records it.
-            else:
-                new_state = queue.release(job, worker_id,
-                                          error=outcome.get("error"))
-                catalog.record_cell(
-                    job.run_id, job.cell_index, job.payload["params"],
-                    status, error=outcome.get("error"),
-                    attempts=outcome.get("attempt", job.attempts))
-                if new_state == "failed":
-                    summary.failed += 1
+    if server is not None:
+        backend: Any = _RemoteBackend(
+            server, worker_id,
+            local_root=Path(local_root if local_root is not None else root),
+            max_job_attempts=max_job_attempts, timeout=client_timeout,
+            retries=client_retries, backoff=client_backoff,
+            chaos_plan=resolve_network_chaos_plan(chaos_plan))
+    else:
+        path = (Path(catalog_file) if catalog_file is not None
+                else catalog_path(Path(root)))
+        backend = _LocalBackend(path, worker_id,
+                                max_job_attempts=max_job_attempts)
+    job: Optional[Job] = None
+    try:
+        with _SignalGuard():
+            while True:
+                if max_cells is not None and len(summary.cells) >= max_cells:
+                    break
+                job = backend.claim(run_id, lease_ttl)
+                if job is None:
+                    if watch or backend.outstanding(run_id):
+                        # Another worker holds a live lease (or new work may
+                        # arrive): wait instead of abandoning the drain.
+                        time.sleep(poll_seconds)
+                        continue
+                    break
+                if job.reclaimed_from is not None:
+                    summary.reclaimed += 1
+                payload = backend.localize(job)
+                with backend.heartbeat_channel(job, lease_ttl):
+                    outcome = _attempt_cell(payload)
+                status = outcome.get("status", "failed")
+                record = {"index": job.cell_index, "run_id": job.run_id,
+                          "status": status, "attempts": job.attempts}
+                attempts = outcome.get("attempt", job.attempts)
+                if status in ("completed", "cached"):
+                    if backend.complete(job, status, outcome.get("row"),
+                                        attempts,
+                                        _elapsed_from(Path(payload["cell_dir"]))):
+                        summary.completed += 1
+                    # else: the lease was reclaimed while we ran; the new
+                    # owner re-executes the (idempotent) cell and records it.
                 else:
-                    summary.released += 1
-                record["error"] = outcome.get("error")
-            summary.cells.append(record)
-            if queue.outstanding(job.run_id) == 0:
-                _finalize_run(catalog, Path(job.payload["out_dir"]))
+                    new_state = backend.release(job, status,
+                                                outcome.get("error"), attempts)
+                    if new_state == "failed":
+                        summary.failed += 1
+                    else:
+                        summary.released += 1
+                    record["error"] = outcome.get("error")
+                summary.cells.append(record)
+                backend.finalize(job)
+                job = None
+    except WorkerSignalled as signalled:
+        summary.interrupted = True
+        if job is not None:
+            # Give the in-flight cell straight back to the queue so another
+            # worker picks it up without waiting out the lease TTL.  If the
+            # network is also gone, the lease expiring does the same job.
+            try:
+                backend.release(job, "interrupted", str(signalled),
+                                job.attempts)
+            except (RetryableTransportError, FatalRequestError):
+                pass
+            summary.released += 1
+            summary.cells.append({"index": job.cell_index,
+                                  "run_id": job.run_id,
+                                  "status": "interrupted",
+                                  "attempts": job.attempts,
+                                  "error": str(signalled)})
+    finally:
+        backend.close()
     return summary
 
 
@@ -270,6 +543,7 @@ def _elapsed_from(cell_dir: Path) -> Optional[float]:
 
 __all__ = [
     "Submission",
+    "WorkerSignalled",
     "WorkerSummary",
     "default_worker_id",
     "submit_campaign",

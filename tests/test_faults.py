@@ -35,7 +35,14 @@ from repro.runs.artifacts import (
     verify_artifact,
 )
 from repro.runs.cli import main as cli_main
-from repro.runs.faults import FAULT_PLAN_ENV_VAR, resolve_fault_plan
+from repro.runs.faults import (
+    FAULT_PLAN_ENV_VAR,
+    NET_CHAOS_ENV_VAR,
+    NetworkChaosPlan,
+    NetworkFault,
+    resolve_fault_plan,
+    resolve_network_chaos_plan,
+)
 
 
 def chaos_spec(*cells: dict) -> ExperimentSpec:
@@ -154,6 +161,43 @@ class TestFaultPlan:
         assert legacy.faults[0] == Fault(kind="kill", at_update=3, once=False)
         assert resolve_fault_plan(None, 3, env) == plan
         assert resolve_fault_plan(None, None, {}) is None
+
+
+# --------------------------------------------------------------------------
+class TestNetworkChaosPlan:
+    def test_json_roundtrip(self):
+        plan = NetworkChaosPlan(faults=(
+            NetworkFault(kind="reset", at_request=1, op="claim"),
+            NetworkFault(kind="drop-response", op="complete"),
+            NetworkFault(kind="stall", at_request=4, delay_seconds=2.5),
+        ), seed=3)
+        assert NetworkChaosPlan.from_json(plan.to_json()) == plan
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown network fault kind"):
+            NetworkFault(kind="carrier-pigeon")
+        with pytest.raises(ValueError, match="at_request"):
+            NetworkFault(kind="reset", at_request=-1)
+        with pytest.raises(ValueError, match="unknown NetworkChaosPlan"):
+            NetworkChaosPlan.from_dict({"faults": [], "rng": 1})
+
+    def test_resolution_precedence(self, tmp_path):
+        plan = NetworkChaosPlan(faults=(
+            NetworkFault(kind="duplicate", at_request=2, op="complete"),))
+        assert resolve_network_chaos_plan(plan, {}) is plan
+        assert resolve_network_chaos_plan(plan.to_dict(), {}) == plan
+        assert resolve_network_chaos_plan(plan.to_json(), {}) == plan
+        plan_file = tmp_path / "net.json"
+        plan_file.write_text(plan.to_json())
+        assert resolve_network_chaos_plan(str(plan_file), {}) == plan
+        # env var: inline JSON or a file path; the explicit argument wins
+        env = {NET_CHAOS_ENV_VAR: plan.to_json()}
+        assert resolve_network_chaos_plan(None, env) == plan
+        assert resolve_network_chaos_plan(
+            None, {NET_CHAOS_ENV_VAR: str(plan_file)}) == plan
+        other = NetworkChaosPlan(seed=5)
+        assert resolve_network_chaos_plan(other, env) is other
+        assert resolve_network_chaos_plan(None, {}) is None
 
 
 # --------------------------------------------------------------------------

@@ -418,6 +418,88 @@ class TestStoreConnectionRule:
                     if f.rule == "artifacts.store-connection"]
 
 
+# ------------------------------------------------------------ store-client
+class TestStoreClientRule:
+    def test_raw_urlopen_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import urllib.request\n"
+            "def fetch(url):\n"
+            "    return urllib.request.urlopen(url).read()\n"),
+            rel="src/repro/runs/cli.py")
+        assert rules_of(active) == {"artifacts.store-client"}
+
+    def test_aliased_urlopen_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import urllib.request as ur\n"
+            "def fetch(url):\n"
+            "    return ur.urlopen(url).read()\n"),
+            rel="src/repro/store/worker.py")
+        assert rules_of(active) == {"artifacts.store-client"}
+
+    def test_from_import_request_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "from urllib.request import Request\n"
+            "def build(url):\n"
+            "    return Request(url, method='POST')\n"),
+            rel="src/repro/store/worker.py")
+        assert rules_of(active) == {"artifacts.store-client"}
+
+    def test_http_client_connection_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import http.client\n"
+            "def open_conn(host):\n"
+            "    return http.client.HTTPConnection(host)\n"),
+            rel="src/repro/store/server.py")
+        assert rules_of(active) == {"artifacts.store-client"}
+
+    def test_raw_socket_connection_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import socket\n"
+            "def dial(addr):\n"
+            "    return socket.create_connection(addr)\n"),
+            rel="src/repro/store/server.py")
+        assert rules_of(active) == {"artifacts.store-client"}
+
+    def test_client_module_exempt(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import urllib.request\n"
+            "def fetch(url):\n"
+            "    return urllib.request.urlopen(url).read()\n"),
+            rel="src/repro/store/client.py")
+        assert not active
+
+    def test_chaos_proxy_module_exempt(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import socket\n"
+            "def dial(addr):\n"
+            "    return socket.create_connection(addr)\n"),
+            rel="src/repro/store/chaos.py")
+        assert not active
+
+    def test_store_client_usage_good(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "from repro.store.client import StoreClient\n"
+            "def fetch(url):\n"
+            "    return StoreClient(url).health()\n"),
+            rel="src/repro/store/worker.py")
+        assert not active
+
+    def test_benign_socket_helpers_good(self, tmp_path):
+        # Only request/connection construction is banned, not the rest of
+        # the socket module.
+        active, _ = lint_snippet(tmp_path, (
+            "import socket\n"
+            "def whoami():\n"
+            "    return socket.gethostname()\n"),
+            rel="src/repro/store/worker.py")
+        assert not active
+
+    def test_repo_tree_has_no_raw_network_calls(self):
+        report = run_lint([SRC / "repro"])
+        assert not [f for f in report.findings
+                    if f.rule == "artifacts.store-client"]
+
+
 # -------------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_parse_suppressions(self):

@@ -1,0 +1,505 @@
+"""Tests for the remote-worker transport: StoreClient, chaos, lease HTTP.
+
+Unit tests drive :class:`~repro.store.client.StoreClient` against a fake
+in-memory transport (taxonomy, deterministic backoff, idempotency keys,
+ChaosTransport semantics); the live tests run a real
+:class:`~repro.store.server.CampaignServer` and prove the acceptance
+criterion — a chaos-perturbed multi-worker HTTP drain, including a
+mid-drain server kill + restart, yields rows bit-identical to serial
+``repro.run()`` with exactly one applied completion per cell.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runs import ExperimentSpec
+from repro.runs.cli import main as cli_main
+from repro.runs.faults import NetworkChaosPlan, NetworkFault
+from repro.store import Catalog, JobQueue, catalog_path
+from repro.store.chaos import ChaosProxy
+from repro.store.client import (
+    BACKOFF_CAP_SECONDS,
+    ChaosTransport,
+    FatalRequestError,
+    RetryableTransportError,
+    StoreClient,
+    backoff_schedule,
+)
+from repro.store.server import make_server
+from repro.store.worker import submit_campaign, work
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def chaos_spec(*cells: dict) -> ExperimentSpec:
+    return ExperimentSpec(experiment_id="chaos", driver="chaos_driver",
+                          columns=("name", "value"), grid=cells,
+                          default_scale="smoke")
+
+
+def ok_cells(n: int):
+    return tuple({"mode": "ok", "name": f"c{i}", "offset": i}
+                 for i in range(n))
+
+
+class FakeTransport:
+    """Scripted transport: pops ``(status, body)`` or raises an exception."""
+
+    def __init__(self, *script):
+        self.script = list(script)
+        self.requests = []
+
+    def __call__(self, method, url, body, headers, timeout):
+        self.requests.append({"method": method, "url": url, "body": body,
+                              "timeout": timeout})
+        step = self.script.pop(0)
+        if isinstance(step, BaseException):
+            raise step
+        return step
+
+
+def client_with(transport, **kwargs):
+    kwargs.setdefault("backoff", 0.0)
+    return StoreClient("http://fake", worker_id="w1", transport=transport,
+                       sleep=lambda _s: None, **kwargs)
+
+
+# --------------------------------------------------------------------------
+class TestErrorTaxonomy:
+    def test_4xx_is_fatal_and_never_retried(self):
+        transport = FakeTransport((404, b'{"error": "nope"}'))
+        client = client_with(transport, max_retries=5)
+        with pytest.raises(FatalRequestError) as err:
+            client.get("/api/campaigns/nope")
+        assert err.value.status == 404
+        assert len(transport.requests) == 1
+
+    def test_5xx_retried_until_budget_exhausted(self):
+        transport = FakeTransport(*[(503, b"busy")] * 3)
+        client = client_with(transport, max_retries=2)
+        with pytest.raises(RetryableTransportError) as err:
+            client.health()
+        assert err.value.status == 503
+        assert err.value.attempts == 3
+        assert len(transport.requests) == 3
+
+    def test_connection_errors_retried_then_succeed(self):
+        transport = FakeTransport(ConnectionResetError("rst"),
+                                  TimeoutError("deadline"),
+                                  (200, b'{"ok": true}'))
+        client = client_with(transport, max_retries=4)
+        assert client.health() == {"ok": True}
+        assert len(transport.requests) == 3
+
+    def test_torn_2xx_body_is_retryable(self):
+        transport = FakeTransport((200, b'{"ok": tr'),  # torn mid-flight
+                                  (200, b'{"ok": true}'))
+        client = client_with(transport, max_retries=1)
+        assert client.health() == {"ok": True}
+
+    def test_every_request_carries_the_deadline(self):
+        transport = FakeTransport((200, b"{}"), (200, b"{}"))
+        client = client_with(transport, timeout=7.5)
+        client.get("/api/health")
+        client.request("GET", "/api/health", timeout=1.25)
+        assert [r["timeout"] for r in transport.requests] == [7.5, 1.25]
+
+
+class TestDeterministicBackoff:
+    def test_schedule_is_deterministic_and_capped(self):
+        first = backoff_schedule(0.25, 8, seed=42)
+        again = backoff_schedule(0.25, 8, seed=42)
+        other = backoff_schedule(0.25, 8, seed=43)
+        assert first == again
+        assert first != other
+        assert all(d <= BACKOFF_CAP_SECONDS * 1.25 for d in first)
+        # Exponential growth up to the cap, jitter never negative.
+        assert first[0] >= 0.25 and first[1] >= 0.5 and first[2] >= 1.0
+
+    def test_client_sleeps_the_schedule(self):
+        slept = []
+        transport = FakeTransport(*[(500, b"x")] * 4)
+        client = StoreClient("http://fake", worker_id="w1",
+                             transport=transport, max_retries=3,
+                             backoff=0.25, retry_seed=7,
+                             sleep=slept.append)
+        with pytest.raises(RetryableTransportError):
+            client.health()
+        assert slept == backoff_schedule(0.25, 3, seed=7)
+
+
+class TestIdempotencyKeys:
+    def _keys_of(self, transport):
+        return [json.loads(r["body"])["idempotency_key"]
+                for r in transport.requests]
+
+    def test_each_mutation_gets_a_fresh_key(self):
+        transport = FakeTransport((200, b'{"job": null}'),
+                                  (200, b'{"job": null}'))
+        client = client_with(transport)
+        client.claim()
+        client.claim()
+        keys = self._keys_of(transport)
+        assert len(set(keys)) == 2
+        assert all(key.startswith("w1.") for key in keys)
+
+    def test_retries_reuse_the_same_key(self):
+        transport = FakeTransport(ConnectionResetError("rst"), (500, b"x"),
+                                  (200, b'{"applied": true}'))
+        client = client_with(transport, max_retries=4)
+        client.complete("run", 0, status="completed", row={"v": 1},
+                        params={}, attempts=1)
+        keys = self._keys_of(transport)
+        assert len(keys) == 3
+        assert len(set(keys)) == 1  # one logical mutation, one key
+
+    def test_restarted_client_cannot_replay_old_keys(self):
+        # Same worker_id, new process: the per-instance session token keeps
+        # the key spaces disjoint, so a stale recorded response can never be
+        # replayed to a new incarnation.
+        t1, t2 = FakeTransport((200, b"{}")), FakeTransport((200, b"{}"))
+        client_with(t1).claim()
+        client_with(t2).claim()
+        assert self._keys_of(t1) != self._keys_of(t2)
+
+    def test_heartbeats_carry_no_key(self):
+        transport = FakeTransport((200, b'{"alive": true}'))
+        client = client_with(transport)
+        assert client.heartbeat("run", 0) is True
+        assert "idempotency_key" not in json.loads(
+            transport.requests[0]["body"])
+
+
+class TestChaosTransport:
+    def _wrapped(self, plan, *script):
+        inner = FakeTransport(*script)
+        chaos = ChaosTransport(inner, plan, sleep=lambda _s: None)
+        return inner, chaos
+
+    def test_reset_fires_before_delivery(self):
+        plan = NetworkChaosPlan(faults=(NetworkFault(kind="reset"),))
+        inner, chaos = self._wrapped(plan, (200, b"{}"))
+        with pytest.raises(ConnectionResetError):
+            chaos("GET", "http://s/api/health", None, {}, 1.0)
+        assert inner.requests == []  # request never reached the wire
+
+    def test_http_500_is_synthetic(self):
+        plan = NetworkChaosPlan(faults=(NetworkFault(kind="http-500"),))
+        inner, chaos = self._wrapped(plan)
+        status, _body = chaos("GET", "http://s/api/health", None, {}, 1.0)
+        assert status == 500
+        assert inner.requests == []
+
+    def test_drop_response_delivers_then_raises(self):
+        plan = NetworkChaosPlan(faults=(NetworkFault(kind="drop-response"),))
+        inner, chaos = self._wrapped(plan, (200, b"{}"))
+        with pytest.raises(ConnectionResetError):
+            chaos("POST", "http://s/api/jobs/complete", b"{}", {}, 1.0)
+        assert len(inner.requests) == 1  # the mutation WAS applied
+
+    def test_duplicate_delivers_twice(self):
+        plan = NetworkChaosPlan(faults=(NetworkFault(kind="duplicate"),))
+        inner, chaos = self._wrapped(plan, (200, b"{}"), (200, b"{}"))
+        chaos("POST", "http://s/api/jobs/complete", b"{}", {}, 1.0)
+        assert len(inner.requests) == 2
+
+    def test_op_filter_and_request_index(self):
+        plan = NetworkChaosPlan(faults=(
+            NetworkFault(kind="reset", at_request=1, op="claim"),))
+        inner, chaos = self._wrapped(
+            plan, (200, b"{}"), (200, b"{}"), (200, b"{}"))
+        chaos("POST", "http://s/api/jobs/complete", b"{}", {}, 1.0)  # no match
+        chaos("POST", "http://s/api/jobs/claim", b"{}", {}, 1.0)     # index 0
+        with pytest.raises(ConnectionResetError):
+            chaos("POST", "http://s/api/jobs/claim", b"{}", {}, 1.0)  # index 1
+        assert chaos.fired == [{"kind": "reset", "path": "/api/jobs/claim"}]
+
+
+# --------------------------------------------------------------------------
+@pytest.fixture
+def lease_server(tmp_path):
+    """A live server over a submitted 2-cell chaos campaign."""
+    root = tmp_path / "server"
+    submit_campaign(chaos_spec(*ok_cells(2)), root=root)
+    server = make_server(root, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        yield root, server, url
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestLeaseProtocolHTTP:
+    def test_claim_heartbeat_complete_roundtrip(self, lease_server):
+        root, server, url = lease_server
+        client = StoreClient(url, worker_id="w1", backoff=0.01)
+        assert client.outstanding("chaos-smoke") == 2
+        job = client.claim(run_id="chaos-smoke")
+        assert job["cell_index"] == 0
+        assert job["payload"]["params"]["name"] == "c0"
+        assert client.heartbeat("chaos-smoke", 0) is True
+        response = client.complete("chaos-smoke", 0, status="completed",
+                                   row={"name": "c0", "value": 1.0},
+                                   params=job["payload"]["params"],
+                                   attempts=1)
+        assert response["applied"] is True
+        assert client.outstanding("chaos-smoke") == 1
+        health = client.health()
+        assert health["queue_depth"] == 1
+        assert health["active_leases"] == 0
+        assert health["draining"] is False
+
+    def test_duplicate_complete_replays_and_single_lease_event(
+            self, lease_server):
+        root, server, url = lease_server
+        client = StoreClient(url, worker_id="w1", backoff=0.01)
+        job = client.claim(run_id="chaos-smoke")
+        body = {"worker": "w1", "run_id": "chaos-smoke",
+                "cell_index": job["cell_index"], "status": "completed",
+                "row": {"name": "c0", "value": 1.0},
+                "params": job["payload"]["params"], "attempts": 1,
+                "idempotency_key": "w1.feed.000001.complete"}
+        first = client.post("/api/jobs/complete", body)
+        second = client.post("/api/jobs/complete", body)  # duplicated delivery
+        assert first["applied"] is True
+        assert "replayed" not in first
+        assert second["applied"] is True
+        assert second["replayed"] is True
+        with Catalog(catalog_path(root)) as catalog:
+            events = JobQueue(catalog).lease_events("chaos-smoke")
+        completed = [e for e in events if e["event"] == "completed"]
+        assert len(completed) == 1
+
+    def test_lost_ownership_complete_not_applied(self, lease_server):
+        root, server, url = lease_server
+        loser = StoreClient(url, worker_id="loser", backoff=0.01)
+        job = loser.claim(run_id="chaos-smoke", lease_ttl=-1)  # born expired
+        winner = StoreClient(url, worker_id="winner", backoff=0.01)
+        reclaimed = winner.claim(run_id="chaos-smoke")
+        assert reclaimed["reclaimed_from"] == "loser"
+        assert loser.heartbeat("chaos-smoke", job["cell_index"]) is False
+        late = loser.complete("chaos-smoke", job["cell_index"],
+                              status="completed", row={"v": 1},
+                              params={}, attempts=1)
+        assert late["applied"] is False
+        good = winner.complete("chaos-smoke", reclaimed["cell_index"],
+                               status="completed", row={"v": 1},
+                               params={}, attempts=2)
+        assert good["applied"] is True
+
+    def test_draining_server_refuses_claims_with_503(self, lease_server):
+        root, server, url = lease_server
+        server.draining = True  # drain announced, accept loop still up
+        client = StoreClient(url, worker_id="w1", max_retries=1, backoff=0.01)
+        with pytest.raises(RetryableTransportError) as err:
+            client.claim(run_id="chaos-smoke")
+        assert err.value.status == 503
+        assert client.health()["draining"] is True
+
+    def test_body_cap_enforced_with_413(self, lease_server):
+        root, server, url = lease_server
+        server.max_body_bytes = 64
+        client = StoreClient(url, worker_id="w1", backoff=0.01)
+        with pytest.raises(FatalRequestError) as err:
+            client.post("/api/jobs/heartbeat",
+                        {"worker": "w1", "run_id": "chaos-smoke",
+                         "cell_index": 0, "padding": "x" * 256})
+        assert err.value.status == 413
+
+    def test_stream_observes_shutdown_promptly(self, lease_server):
+        root, server, url = lease_server
+        events = []
+
+        def consume():
+            with urllib.request.urlopen(
+                    f"{url}/api/campaigns/chaos-smoke/stream?timeout=60"
+            ) as response:
+                for line in response:
+                    events.append(json.loads(line))
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        time.sleep(0.5)  # snapshot delivered, stream now long-polling
+        started = time.perf_counter()
+        server.initiate_drain()
+        consumer.join(timeout=10)
+        elapsed = time.perf_counter() - started
+        assert not consumer.is_alive()
+        assert events[0]["event"] == "snapshot"
+        assert events[-1]["event"] == "shutdown"
+        assert elapsed < 5.0  # one poll interval, not the 60s budget
+
+
+# --------------------------------------------------------------------------
+def _drain_remote(url, root, name, chaos_plan=None, **kwargs):
+    kwargs.setdefault("client_backoff", 0.05)
+    kwargs.setdefault("client_retries", 8)
+    kwargs.setdefault("poll_seconds", 0.1)
+    return work(root=root, run_id="chaos-smoke", worker_id=name, server=url,
+                chaos_plan=chaos_plan, **kwargs)
+
+
+def _assert_drained_bit_identical(serial_root, server_root, cells):
+    serial = (serial_root / "chaos-smoke" / "results.json").read_bytes()
+    drained = (server_root / "chaos-smoke" / "results.json").read_bytes()
+    assert drained == serial
+    with Catalog(catalog_path(server_root)) as catalog:
+        queue = JobQueue(catalog)
+        events = queue.lease_events("chaos-smoke")
+        assert queue.outstanding("chaos-smoke") == 0
+    completed = sorted(e["cell_index"] for e in events
+                       if e["event"] == "completed")
+    assert completed == list(range(cells)), \
+        f"expected exactly one applied completion per cell, got {completed}"
+
+
+class TestRemoteDrain:
+    CELLS = 6
+
+    def _prepared(self, tmp_path):
+        spec = chaos_spec(*ok_cells(self.CELLS))
+        serial_root = tmp_path / "serial"
+        server_root = tmp_path / "server"
+        repro.run(spec, root=serial_root)
+        submit_campaign(spec, root=server_root)
+        return serial_root, server_root
+
+    def _run_workers(self, url, tmp_path, plans):
+        summaries = {}
+
+        def drain(name, plan):
+            summaries[name] = _drain_remote(url, tmp_path / name, name,
+                                            chaos_plan=plan)
+
+        threads = [threading.Thread(target=drain, args=(name, plan))
+                   for name, plan in plans.items()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert all(not t.is_alive() for t in threads)
+        return summaries
+
+    def test_two_http_workers_bit_identical_under_chaos(self, tmp_path):
+        serial_root, server_root = self._prepared(tmp_path)
+        server = make_server(server_root, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        plan = NetworkChaosPlan(faults=(
+            NetworkFault(kind="reset", at_request=1, op="claim"),
+            NetworkFault(kind="http-500", at_request=2, op="claim"),
+            NetworkFault(kind="stall", at_request=3, op="claim",
+                         delay_seconds=0.2),
+            NetworkFault(kind="drop-response", at_request=0, op="complete"),
+            NetworkFault(kind="duplicate", at_request=2, op="complete"),
+        ))
+        try:
+            summaries = self._run_workers(url, tmp_path,
+                                          {"w1": plan, "w2": None})
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert sum(s.completed for s in summaries.values()) >= self.CELLS
+        _assert_drained_bit_identical(serial_root, server_root, self.CELLS)
+
+    def test_mid_drain_server_kill_and_restart(self, tmp_path):
+        serial_root, server_root = self._prepared(tmp_path)
+        server = make_server(server_root, port=0)
+        port = server.server_address[1]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://127.0.0.1:{port}"
+        chaos = NetworkChaosPlan(faults=(
+            NetworkFault(kind="reset", at_request=0, op="complete"),))
+        workers = threading.Thread(
+            target=lambda: self._run_workers(url, tmp_path,
+                                             {"w1": chaos, "w2": None}))
+        workers.start()
+        # Kill the server after the first completed cell, then restart it on
+        # the same port; the workers' retry budgets ride out the outage.
+        deadline = time.perf_counter() + 60
+        while time.perf_counter() < deadline:
+            with Catalog(catalog_path(server_root)) as catalog:
+                done = catalog.conn.scalar(
+                    "SELECT COUNT(*) FROM jobs WHERE state = 'done'")
+            if done:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("no cell completed before the kill window")
+        server.shutdown()
+        server.server_close()
+        time.sleep(0.25)
+        restarted = make_server(server_root, port=port)
+        threading.Thread(target=restarted.serve_forever, daemon=True).start()
+        try:
+            workers.join(timeout=120)
+            assert not workers.is_alive()
+        finally:
+            restarted.shutdown()
+            restarted.server_close()
+        _assert_drained_bit_identical(serial_root, server_root, self.CELLS)
+
+    def test_drain_through_tcp_chaos_proxy(self, tmp_path):
+        serial_root, server_root = self._prepared(tmp_path)
+        server = make_server(server_root, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        plan = NetworkChaosPlan(faults=(
+            NetworkFault(kind="reset", at_request=0, op="claim"),
+            NetworkFault(kind="duplicate", at_request=1, op="complete"),
+            NetworkFault(kind="drop-response", at_request=2, op="complete"),
+            NetworkFault(kind="http-500", at_request=3, op="claim"),
+        ))
+        proxy = ChaosProxy(("127.0.0.1", server.server_address[1]),
+                           plan).start()
+        url = f"http://{proxy.address[0]}:{proxy.address[1]}"
+        try:
+            self._run_workers(url, tmp_path, {"w1": None, "w2": None})
+        finally:
+            proxy.stop()
+            server.shutdown()
+            server.server_close()
+        fired = {f["kind"] for f in proxy.fired}
+        assert {"reset", "duplicate", "drop-response"} <= fired
+        _assert_drained_bit_identical(serial_root, server_root, self.CELLS)
+
+
+# --------------------------------------------------------------------------
+class TestRemoteWorkCLI:
+    def test_unreachable_server_exits_5(self, tmp_path, capsys):
+        code = cli_main(["work", "--root", str(tmp_path / "runs"),
+                         "--server", "http://127.0.0.1:1",
+                         "--client-retries", "1",
+                         "--client-backoff", "0.01"])
+        assert code == 5
+        assert "worker gave up" in capsys.readouterr().err
+
+    def test_net_chaos_flag_parses_inline_plan(self, tmp_path):
+        root = tmp_path / "server"
+        submit_campaign(chaos_spec(*ok_cells(2)), root=root)
+        server = make_server(root, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        plan = NetworkChaosPlan(faults=(
+            NetworkFault(kind="http-500", at_request=0, op="claim"),))
+        try:
+            code = cli_main(["work", "--root", str(tmp_path / "local"),
+                             "--server", url, "--run-id", "chaos-smoke",
+                             "--client-backoff", "0.01", "--net-chaos",
+                             plan.to_json()])
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert code == 0
+        with Catalog(catalog_path(root)) as catalog:
+            assert JobQueue(catalog).outstanding("chaos-smoke") == 0
