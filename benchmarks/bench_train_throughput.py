@@ -22,6 +22,10 @@ Two metrics per mode:
 * **env-steps/sec (end-to-end)** — a real ``train()`` loop: rollout
   collection, updates, and periodic evaluation included.
 
+Plus a **telemetry overhead** measurement on the fast path: updates/sec of
+the same ``train()`` loop with telemetry disabled vs enabled (the PR 10
+acceptance budget is < 2% regression with ``REPRO_TELEMETRY=1``).
+
 Appends one entry to the perf trajectory file ``BENCH_train.json`` at the
 repo root, so successive PRs accumulate a training-throughput history.
 
@@ -119,11 +123,45 @@ def measure_end_to_end(scenario: str, max_updates: int, trials: int) -> dict:
     return best
 
 
+def measure_telemetry_overhead(scenario: str, max_updates: int,
+                               trials: int) -> dict:
+    """Updates/sec of the default fast path with telemetry off vs on.
+
+    The PR 10 acceptance budget is < 2% regression with ``REPRO_TELEMETRY=1``.
+    Handles sample the enabled flag at trainer construction, so each
+    measurement builds a fresh trainer after ``telemetry.configure``; the
+    process-wide override is restored (and the registry drained) afterwards
+    so the bench leaves no telemetry state behind.
+    """
+    from repro import telemetry
+
+    best = {False: 0.0, True: 0.0}
+    try:
+        for _ in range(trials):
+            for enabled in (False, True):  # off first: cold-cache parity
+                telemetry.configure(enabled=enabled, reset=True)
+                trainer = _make_trainer("fast", scenario)
+                start = time.perf_counter()
+                trainer.train(max_updates=max_updates, eval_every=5,
+                              target_accuracy=2.0)
+                elapsed = time.perf_counter() - start
+                best[enabled] = max(best[enabled],
+                                    trainer.updates_done / elapsed)
+    finally:
+        telemetry.configure(enabled=None, reset=True)
+    overhead_pct = 100.0 * (1.0 - best[True] / best[False])
+    return {"updates_per_second_off": round(best[False], 2),
+            "updates_per_second_on": round(best[True], 2),
+            "overhead_pct": round(overhead_pct, 2)}
+
+
 def run(scenario: str = DEFAULT_SCENARIO, repeats: int = 5, trials: int = 3,
         train_updates: int = 10, train_trials: int = 2) -> dict:
     config = PPOConfig()
     update_rates = measure_updates(scenario, repeats, trials)
     step_rates = measure_end_to_end(scenario, train_updates, train_trials)
+    telemetry_overhead = measure_telemetry_overhead(scenario, train_updates,
+                                                    train_trials)
     results = []
     for mode in MODES:
         row = {"mode": mode,
@@ -155,6 +193,7 @@ def run(scenario: str = DEFAULT_SCENARIO, repeats: int = 5, trials: int = 3,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "results": results,
         "speedups": speedups,
+        "telemetry": telemetry_overhead,
     }
 
 
@@ -211,6 +250,10 @@ def main() -> None:
     append_trajectory(entry, output)
     if args.catalog:
         record_in_catalog(entry, Path(args.catalog), output.name)
+    overhead = entry["telemetry"]
+    print(f"telemetry overhead: {overhead['updates_per_second_off']:.2f} -> "
+          f"{overhead['updates_per_second_on']:.2f} updates/s "
+          f"({overhead['overhead_pct']:+.2f}%)")
     speedups = entry["speedups"]
     print(f"fast vs graph: {speedups['updates_fast_vs_graph']:.2f}x updates/s, "
           f"{speedups['env_steps_fast_vs_graph']:.2f}x env-steps/s; "

@@ -95,6 +95,14 @@ DEFAULT_STORE_EXEMPT: Tuple[str, ...] = (
     "repro/store/connection.py",
 )
 
+#: The telemetry package: metric record paths (functions named ``record``,
+#: ``inc``, ``set``, ``observe``, ``add``) carry the same zero-allocation
+#: contract as the hot-path kernels, because instrumentation runs inside the
+#: code it measures.
+DEFAULT_TELEMETRY_STRICT: Tuple[str, ...] = (
+    "repro/telemetry/",
+)
+
 #: The sanctioned homes of raw HTTP/socket request construction:
 #: ``repro/store/client.py`` is where the deadline/retry/idempotency
 #: contract lives (every worker request must inherit it), and
@@ -132,6 +140,8 @@ class LintConfig:
     #: Modules allowed to build raw HTTP requests / sockets (the store
     #: client and the chaos proxy).
     net_exempt: Tuple[str, ...] = DEFAULT_NET_EXEMPT
+    #: Telemetry code whose record paths must stay allocation-free.
+    telemetry_strict: Tuple[str, ...] = DEFAULT_TELEMETRY_STRICT
     #: Checked-in suppressions baseline (repo-relative).
     baseline: str = "src/repro/lint/baseline.json"
 
@@ -165,6 +175,10 @@ class LintConfig:
     def net_exempt_for(self, rel_path: str) -> bool:
         """Whether this module may build raw HTTP requests / sockets."""
         return any(rel_path.endswith(suffix) for suffix in self.net_exempt)
+
+    def telemetry_strict_for(self, rel_path: str) -> bool:
+        """Whether the alloc-free record-path contract applies here."""
+        return _path_matches(rel_path, self.telemetry_strict)
 
 
 def _path_matches(rel_path: str, entries: Tuple[str, ...]) -> bool:

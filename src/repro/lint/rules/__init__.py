@@ -9,14 +9,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple, Type
 
-from repro.lint.rules import artifacts, determinism, dtypes, hotpath, specs
+from repro.lint.rules import (artifacts, determinism, dtypes, hotpath, specs,
+                              telemetry)
 from repro.lint.rules.base import FileContext, Rule
 from repro.lint.rules.honesty import REGISTRY_RULES, check_registries
 
 #: Every per-file AST rule class, grouped by family module.
 ALL_RULES: Tuple[Type[Rule], ...] = (
     determinism.RULES + hotpath.RULES + specs.RULES + dtypes.RULES
-    + artifacts.RULES
+    + artifacts.RULES + telemetry.RULES
 )
 
 

@@ -1,0 +1,134 @@
+"""Telemetry rules: metric record paths stay alloc-free, clocks stay monotonic.
+
+The observability layer's contract is that instrumentation is safe to leave
+on in the measured path: ``REPRO_TELEMETRY=1`` must cost nanoseconds per
+event, not allocations.  Histograms preallocate their bucket arrays in
+``__init__`` and ``record()`` only does a scalar ``searchsorted`` plus an
+in-place increment — so inside the telemetry package, any function named
+like a record-path entry point (``record``, ``inc``, ``set``, ``observe``,
+``add``) is held to the same zero-allocation discipline as the hot-path
+kernels: no container displays or comprehensions, no allocating numpy
+constructors, no string formatting.  Error paths (inside ``raise``) are
+exempt, as everywhere else.
+
+The clock rule extends :class:`~repro.lint.rules.determinism.WallClockRule`'s
+``time.time()`` ban to the ``datetime`` API: ``datetime.now()`` /
+``utcnow()`` / ``today()`` are the same stepping wall clock with a different
+spelling.  Durations use ``time.perf_counter()``; persisted timestamps use
+the catalogue's SQL clock (``StoreConnection.now()``), so they are stamped
+by one authority instead of every reporting process's skewed clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (FileContext, Rule, call_attribute_chain,
+                                   iter_functions, raise_protected_nodes)
+from repro.lint.rules.hotpath import ALLOC_FNS
+
+#: Bare function names treated as metric record-path entry points inside
+#: telemetry-strict modules.
+RECORD_PATH_NAMES = frozenset({"record", "inc", "set", "observe", "add"})
+
+#: ``datetime.datetime`` / ``datetime.date`` class methods that read the
+#: stepping wall clock.
+_DATETIME_CLOCK_FNS = frozenset({"now", "utcnow", "today"})
+
+
+class TelemetryRecordAllocRule(Rule):
+    """Record paths in the telemetry package must not allocate."""
+
+    rule_id = "telemetry.record-alloc"
+    description = ("container display, comprehension, numpy allocation, or "
+                   "string formatting inside a metric record path")
+    why = ("instrumentation rides inside the training loop and the request "
+           "handlers; a dict per inc() or a fresh array per record() turns "
+           "the <2% telemetry overhead budget into allocator pressure in "
+           "exactly the code the metrics are measuring")
+    hint = ("preallocate state (bucket arrays, label tuples) at metric "
+            "creation time; record paths do scalar math and in-place "
+            "increments only")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.config.telemetry_strict_for(ctx.rel):
+            return []
+        findings: List[Finding] = []
+        numpy_names = ctx.aliases_of("numpy")
+        container_types = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                           ast.DictComp, ast.SetComp, ast.GeneratorExp)
+        for qualname, func in iter_functions(ctx.tree):
+            if qualname.rsplit(".", 1)[-1] not in RECORD_PATH_NAMES:
+                continue
+            protected = raise_protected_nodes(func)
+            for node in ast.walk(func):
+                if id(node) in protected:
+                    continue
+                if isinstance(node, container_types):
+                    kind = type(node).__name__
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"{kind} allocated inside record path {qualname}()"))
+                elif isinstance(node, ast.JoinedStr):
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"f-string inside record path {qualname}()"))
+                elif isinstance(node, ast.Call):
+                    chain = call_attribute_chain(node.func)
+                    hit = ""
+                    if len(chain) == 2 and chain[0] in numpy_names \
+                            and chain[1] in ALLOC_FNS:
+                        hit = f"np.{chain[1]}"
+                    elif len(chain) == 1 \
+                            and ctx.from_import(chain[0])[0] == "numpy" \
+                            and ctx.from_import(chain[0])[1] in ALLOC_FNS:
+                        hit = chain[0]
+                    if hit:
+                        findings.append(self.finding(
+                            ctx, node,
+                            f"{hit}() allocates inside record path "
+                            f"{qualname}()"))
+        return findings
+
+
+class DatetimeWallClockRule(Rule):
+    """``datetime.now()`` and friends are ``time.time()`` in disguise."""
+
+    rule_id = "telemetry.datetime-wall-clock"
+    description = ("datetime.now()/utcnow()/today() or date.today() reads "
+                   "the stepping wall clock")
+    why = ("the determinism.wall-clock ban on time.time() is pointless if "
+           "the same clock leaks in through the datetime API; timestamps "
+           "that feed results or the catalogue come from perf_counter "
+           "deltas or the catalogue's single SQL clock")
+    hint = ("use time.perf_counter() for durations; persist timestamps via "
+            "StoreConnection.now() so one clock stamps every row")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        datetime_modules = ctx.aliases_of("datetime")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_attribute_chain(node.func)
+            if len(chain) == 3 and chain[0] in datetime_modules \
+                    and chain[1] in ("datetime", "date") \
+                    and chain[2] in _DATETIME_CLOCK_FNS:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"datetime.{chain[1]}.{chain[2]}() reads the stepping "
+                    "wall clock"))
+            elif len(chain) == 2 \
+                    and ctx.from_import(chain[0])[0] == "datetime" \
+                    and ctx.from_import(chain[0])[1] in ("datetime", "date") \
+                    and chain[1] in _DATETIME_CLOCK_FNS:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"{chain[0]}.{chain[1]}() reads the stepping wall "
+                    "clock"))
+        return findings
+
+
+RULES = (TelemetryRecordAllocRule, DatetimeWallClockRule)

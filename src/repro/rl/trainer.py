@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.policy import ActorCriticPolicy
 from repro.rl.ppo import PPOConfig, PPOUpdater
@@ -34,6 +35,28 @@ CHECKPOINT_VERSION = 1
 
 # callback(trainer, update, metrics) invoked after every completed PPO update.
 UpdateCallback = Callable[["PPOTrainer", int, Dict[str, float]], None]
+
+
+def _trainer_metrics() -> Dict[str, object]:
+    """Telemetry handles for one trainer, created once per trainer.
+
+    Handles sample the telemetry enabled-state at creation time: with
+    ``REPRO_TELEMETRY=0`` every entry is the shared null metric and the
+    training loop's instrumentation is pure no-op attribute calls.  The
+    handles are deliberately not checkpoint state — a restored trainer
+    re-creates them for its own process.
+    """
+    return {
+        "rollout_seconds": telemetry.counter("trainer.time.rollout_seconds"),
+        "update_seconds": telemetry.counter("trainer.time.update_seconds"),
+        "eval_seconds": telemetry.counter("trainer.time.eval_seconds"),
+        "reset_seconds": telemetry.counter("trainer.time.reset_seconds"),
+        "updates": telemetry.counter("trainer.updates.total"),
+        "env_steps": telemetry.counter("trainer.env_steps.total"),
+        "updates_per_second": telemetry.gauge("trainer.updates.per_second"),
+        "env_steps_per_second": telemetry.gauge("trainer.env_steps.per_second"),
+        "update_histogram": telemetry.histogram("trainer.update.seconds"),
+    }
 
 
 @dataclass
@@ -155,6 +178,7 @@ class PPOTrainer:
         self._converged = False
         self._epochs_to_converge: Optional[float] = None
         self._update_callbacks: List[UpdateCallback] = []
+        self._telemetry = _trainer_metrics()
 
     # ------------------------------------------------------------- callbacks
     def add_update_callback(self, callback: UpdateCallback) -> UpdateCallback:
@@ -206,18 +230,37 @@ class PPOTrainer:
         bit-identical to never having stopped).
         """
         start = time.perf_counter()
+        tm = self._telemetry
+        steps_at_start = self.env_steps
+        updates_at_start = self.updates_done
         if self._observations is None:
+            reset_started = time.perf_counter()
             self._observations = self.vec_env.reset()
+            tm["reset_seconds"].inc(time.perf_counter() - reset_started)
         if self._last_evaluation is None:
             self._last_evaluation = {"accuracy": 0.0, "guess_rate": 0.0,
                                      "mean_episode_length": 0.0,
                                      "mean_episode_reward": 0.0}
         while not self._converged and self.updates_done < max_updates:
             update = self.updates_done + 1
+            phase_started = time.perf_counter()
             buffer, self._observations = self._collect_rollout(self._observations)
+            rollout_done = time.perf_counter()
+            tm["rollout_seconds"].inc(rollout_done - phase_started)
             self.updater.set_progress(update / max_updates)
             metrics = self.updater.update(buffer)
+            update_done = time.perf_counter()
+            tm["update_seconds"].inc(update_done - rollout_done)
+            tm["update_histogram"].record(update_done - phase_started)
             self.updates_done += 1
+            tm["updates"].inc()
+            tm["env_steps"].inc(self.config.horizon * self.config.num_envs)
+            elapsed = update_done - start
+            if elapsed > 0.0:
+                tm["updates_per_second"].set(
+                    (self.updates_done - updates_at_start) / elapsed)
+                tm["env_steps_per_second"].set(
+                    (self.env_steps - steps_at_start) / elapsed)
             metrics.update({
                 "update": update,
                 "env_steps": self.env_steps,
@@ -227,8 +270,10 @@ class PPOTrainer:
             })
             self.history.record(metrics)
             if update % eval_every == 0 or update == max_updates:
+                eval_started = time.perf_counter()
                 evaluation = evaluate_policy(self.eval_env, self.policy,
                                              episodes=eval_episodes, seed=self.seed + update)
+                tm["eval_seconds"].inc(time.perf_counter() - eval_started)
                 self.history.record({"update": update, **{f"eval_{k}": v
                                                           for k, v in evaluation.items()}})
                 self._last_evaluation = evaluation
@@ -353,6 +398,7 @@ class PPOTrainer:
         trainer._epochs_to_converge = payload["epochs_to_converge"]
         trainer._last_evaluation = payload["last_evaluation"]
         trainer._update_callbacks = []
+        trainer._telemetry = _trainer_metrics()
         return trainer
 
     # --------------------------------------------------------------- analysis

@@ -14,11 +14,14 @@ Subcommands
 ``proxy``    a deterministic TCP chaos proxy in front of ``repro serve``
 ``query``    cross-run aggregation over the catalogue (cells or bench rows)
 ``store``    catalogue maintenance (``store ingest`` backfills legacy trees)
+``top``      live terminal dashboard: campaign progress, worker roster,
+             telemetry ticker (``--once`` for a single CI-friendly frame)
 
 Examples::
 
     python -m repro run table5 --scale smoke --workers 4
-    python -m repro status --root runs
+    python -m repro status --root runs --watch 2
+    python -m repro top --server http://127.0.0.1:8642 --once
     python -m repro submit defense_matrix --scale smoke --root runs
     python -m repro work --root runs &  python -m repro work --root runs
     python -m repro serve --root runs --port 8642
@@ -96,6 +99,11 @@ def _build_parser() -> argparse.ArgumentParser:
     status_parser.add_argument("--no-catalog", action="store_true",
                                help="force the artifact-tree scan even when a "
                                     "catalog.sqlite exists under the root")
+    status_parser.add_argument("--watch", type=float, default=None,
+                               metavar="SECONDS",
+                               help="reprint the status every N seconds "
+                                    "until interrupted (plain output, no "
+                                    "screen control)")
 
     submit_parser = commands.add_parser(
         "submit", help="register a campaign in the catalogue and enqueue "
@@ -216,6 +224,26 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="explicit catalogue file (default: "
                                     "<root>/catalog.sqlite)")
 
+    top_parser = commands.add_parser(
+        "top", help="live dashboard: campaign progress, worker roster, "
+                    "telemetry ticker")
+    top_parser.add_argument("--root", default="runs",
+                            help="runs tree whose catalogue to read "
+                                 "(ignored with --server)")
+    top_parser.add_argument("--catalog", default=None,
+                            help="explicit catalogue file (default: "
+                                 "<root>/catalog.sqlite)")
+    top_parser.add_argument("--server", default=None,
+                            help="read from this 'repro serve' URL instead "
+                                 "of a local catalogue")
+    top_parser.add_argument("--interval", type=float, default=2.0,
+                            help="seconds between refreshes (default: 2)")
+    top_parser.add_argument("--once", action="store_true",
+                            help="print one frame and exit (CI / pipes)")
+    top_parser.add_argument("--client-timeout", type=float, default=10.0,
+                            help="per-request deadline in seconds "
+                                 "(--server mode)")
+
     results_parser = commands.add_parser(
         "results", help="print the rows of an existing campaign artifact")
     results_parser.add_argument("experiment", help="registered experiment id")
@@ -275,6 +303,26 @@ def _command_list(args: argparse.Namespace) -> int:
 
 
 def _command_status(args: argparse.Namespace) -> int:
+    if args.watch is None:
+        return _status_once(args)
+    # --watch N: plain reprint loop — no screen control, so the output stays
+    # pipe- and scrollback-friendly (use 'repro top' for the live dashboard).
+    import time
+
+    interval = max(0.1, float(args.watch))
+    try:
+        while True:
+            code = _status_once(args)
+            if code != 0:
+                return code
+            print(f"-- refreshing every {interval:g}s (Ctrl-C to stop) --",
+                  flush=True)
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _status_once(args: argparse.Namespace) -> int:
     from repro.store.connection import catalog_path
 
     catalog_file = catalog_path(Path(args.root))
@@ -305,20 +353,29 @@ def _catalog_status(catalog_file: Path) -> int:
 
     with Catalog(catalog_file) as catalog:
         runs = catalog.list_runs()
+        draining_workers = catalog.active_workers_by_run()
     if not runs:
         print(f"catalogue {catalog_file} holds no runs yet")
         return 0
+    # The workers column appears only while someone is actually draining —
+    # a finished catalogue prints the same table it always did.
+    show_workers = bool(draining_workers)
+    workers_header = f"{'workers':<8} " if show_workers else ""
     header = (f"{'campaign':<28} {'experiment':<14} {'scale':<6} {'cells':<9} "
-              f"{'failed':<7} {'attempts':<9} {'quarantined':<12} status")
+              f"{'failed':<7} {'attempts':<9} {workers_header}"
+              f"{'quarantined':<12} status")
     print(header)
     print("-" * len(header))
     for record in runs:
         cells = f"{record['completed'] or 0}/{record['cells']}"
         run_dir = catalog_file.parent / record["run_id"]
         quarantined = len(quarantined_files(run_dir)) if run_dir.is_dir() else 0
+        workers_cell = (f"{draining_workers.get(record['run_id'], 0):<8} "
+                        if show_workers else "")
         print(f"{record['run_id']:<28} {record['experiment']:<14} "
               f"{record['scale']:<6} {cells:<9} {record['failed'] or 0:<7} "
-              f"{record['attempts']:<9} {quarantined:<12} {record['status']}")
+              f"{record['attempts']:<9} {workers_cell}{quarantined:<12} "
+              f"{record['status']}")
     print(f"\n(catalogue: {catalog_file}; pass --no-catalog for the tree scan)")
     return 0
 
@@ -409,6 +466,24 @@ def _command_proxy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.dashboard import LocalSource, ServerSource, run_dashboard
+
+    if args.server is not None:
+        from repro.store.client import StoreClient
+
+        client = StoreClient(args.server, worker_id="repro-top",
+                             timeout=args.client_timeout, max_retries=2)
+        source = ServerSource(client)
+    else:
+        from repro.store.connection import catalog_path
+
+        catalog_file = (Path(args.catalog) if args.catalog is not None
+                        else catalog_path(Path(args.root)))
+        source = LocalSource(catalog_file)
+    return run_dashboard(source, interval=args.interval, once=args.once)
+
+
 def _command_query(args: argparse.Namespace) -> int:
     from repro.store.catalog import Catalog
     from repro.store.connection import catalog_path
@@ -471,5 +546,6 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "status": _command_status, "results": _command_results,
                 "submit": _command_submit, "work": _command_work,
                 "serve": _command_serve, "proxy": _command_proxy,
-                "query": _command_query, "store": _command_store}
+                "query": _command_query, "store": _command_store,
+                "top": _command_top}
     return handlers[args.command](args)

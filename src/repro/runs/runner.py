@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro import telemetry
 from repro.experiments.common import ExperimentScale, ScaleLike, resolve_scale
 from repro.runs.artifacts import (
     CorruptArtifactError,
@@ -199,10 +200,12 @@ def _load_cached_row(result_file: Path) -> Optional[Dict]:
     try:
         payload = load_json(result_file)
     except CorruptArtifactError:
+        telemetry.counter("runner.cells.quarantined").inc()
         return None
     row = payload.get("row") if isinstance(payload, dict) else None
     if row is None:
         quarantine(result_file, "result.json without a row")
+        telemetry.counter("runner.cells.quarantined").inc()
         return None
     return row
 
@@ -292,26 +295,48 @@ def _attempt_cell(payload: Dict) -> Dict:
     max_attempts = max(1, int(payload.get("max_attempts", 1)))
     backoff = float(payload.get("retry_backoff", 0.0))
     prior = _prior_attempts(cell_dir)
+    run_label = Path(payload.get("out_dir", "")).name
     record: Dict = {}
-    for attempt in range(1, max_attempts + 1):
-        started = time.perf_counter()
-        try:
-            return _execute_cell(**payload)
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except CampaignInterrupted as error:
-            # A (simulated) kill: a real crash would persist nothing, so no
-            # error.json — the cell's checkpoint is what resume picks up.
-            return _error_record(index, error, prior + attempt,
-                                 time.perf_counter() - started,
-                                 status="interrupted")
-        except Exception as error:
-            record = _error_record(index, error, prior + attempt,
-                                   time.perf_counter() - started)
-            atomic_write_json(cell_dir / "error.json", record, indent=2)
-            if attempt < max_attempts:
-                time.sleep(backoff * (2 ** (attempt - 1)))
-    return record
+    try:
+        for attempt in range(1, max_attempts + 1):
+            started = time.perf_counter()
+            telemetry.counter("runner.cell.attempts").inc()
+            if attempt > 1:
+                telemetry.counter("runner.cell.retries").inc()
+            try:
+                with telemetry.span("runner.cell", run_id=run_label,
+                                    cell=index, attempt=prior + attempt):
+                    outcome = _execute_cell(**payload)
+                telemetry.counter(
+                    "runner.cells." + outcome.get("status", "completed")).inc()
+                return outcome
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except CampaignInterrupted as error:
+                # A (simulated) kill: a real crash would persist nothing, so
+                # no error.json — the cell's checkpoint is what resume picks
+                # up.
+                telemetry.counter("runner.cells.interrupted").inc()
+                return _error_record(index, error, prior + attempt,
+                                     time.perf_counter() - started,
+                                     status="interrupted")
+            except Exception as error:
+                telemetry.counter("runner.cells.failed").inc()
+                record = _error_record(index, error, prior + attempt,
+                                       time.perf_counter() - started)
+                atomic_write_json(cell_dir / "error.json", record, indent=2)
+                if attempt < max_attempts:
+                    time.sleep(backoff * (2 ** (attempt - 1)))
+        return record
+    finally:
+        # Local runs persist telemetry per cell: with a worker pool each
+        # cell runs in its own (short-lived) process, so this is the only
+        # point where the child's registry can reach the catalogue.  Queue
+        # workers omit catalog_file from their payloads — their drain loop
+        # owns a flusher (remote workers must never touch the catalogue).
+        catalog_file = payload.get("catalog_file")
+        if catalog_file:
+            telemetry.flush_to_catalog(Path(catalog_file))
 
 
 def _cell_worker(payload: Dict) -> Dict:
@@ -462,13 +487,19 @@ def cell_payloads(spec: ExperimentSpec, scale: ExperimentScale, seed: int,
                   out_dir: Path, cells: List[Dict], checkpoint_every: int = 2,
                   fault_plan: Optional[FaultPlan] = None,
                   max_attempts: int = 1,
-                  retry_backoff: float = 0.25) -> List[Dict]:
+                  retry_backoff: float = 0.25,
+                  catalog_file: Optional[Path] = None) -> List[Dict]:
     """One plain-data execution payload per cell.
 
     This is the unit of work both execution backends share: ``repro.run()``
     dispatches payloads to its worker pool, and the campaign service
     (:mod:`repro.store.worker`) enqueues the very same payloads as catalogue
     jobs — which is why a queue drain is bit-identical to a local run.
+
+    ``catalog_file`` is set only by local runs: it tells the (possibly
+    child-process) cell where to flush its telemetry.  Queue payloads leave
+    it unset — a drain worker's own flusher reports instead, through
+    whichever transport the worker is using.
     """
     return [{
         "spec_data": spec.to_dict(),
@@ -483,6 +514,7 @@ def cell_payloads(spec: ExperimentSpec, scale: ExperimentScale, seed: int,
         "fault_plan": fault_plan.to_dict() if fault_plan is not None else None,
         "max_attempts": max_attempts,
         "retry_backoff": retry_backoff,
+        "catalog_file": str(catalog_file) if catalog_file is not None else None,
     } for index, params in enumerate(cells)]
 
 
@@ -519,6 +551,9 @@ def _record_campaign_in_catalog(catalog_file: Optional[Path], out_dir: Path,
                 row=outcome.get("row"), error=outcome.get("error"),
                 attempts=int(attempts),
                 elapsed_seconds=outcome.get("elapsed_seconds"))
+    # Drain the parent process's registry too (cached-cell counters, spans
+    # of serially executed cells) — child processes flushed their own.
+    telemetry.flush_to_catalog(catalog_file)
 
 
 def resolve_catalog_file(catalog: Any, out_dir: Path) -> Optional[Path]:
@@ -621,11 +656,12 @@ def run(experiment: ExperimentLike, scale: Optional[ScaleLike] = None,
     else:
         atomic_write_json(manifest_file, manifest, indent=2)
 
+    catalog_file = resolve_catalog_file(catalog, out_dir)
     payloads = cell_payloads(spec, scale, seed, out_dir, cells,
                              checkpoint_every=checkpoint_every,
                              fault_plan=plan, max_attempts=max_attempts,
-                             retry_backoff=retry_backoff)
-    catalog_file = resolve_catalog_file(catalog, out_dir)
+                             retry_backoff=retry_backoff,
+                             catalog_file=catalog_file)
 
     # Cached cells cost one JSON read; only dispatch real work to workers.
     # A corrupt cached result quarantines here and the cell re-runs.

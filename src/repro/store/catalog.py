@@ -298,6 +298,139 @@ class Catalog:
                     "SELECT cell_index, attempts FROM cells"
                     " WHERE run_id = ?", (run_id,))}
 
+    # ------------------------------------------------------------- telemetry
+    def record_telemetry(self, worker: str, points: Sequence[Mapping[str, Any]],
+                         spans: Sequence[Mapping[str, Any]] = (),
+                         host: Optional[str] = None,
+                         pid: Optional[int] = None) -> Dict[str, int]:
+        """Land one telemetry flush batch (points + spans) transactionally.
+
+        Points are delta snapshots (see ``repro.telemetry``); ``at_unix`` is
+        stamped here with the catalogue's SQL clock so all reporters share
+        one timeline regardless of their local clocks.
+        """
+        now = self.conn.now()
+        with self.conn.transaction():
+            self.conn.executemany(
+                "INSERT INTO telemetry_points (worker, host, pid, name, kind,"
+                " value, count, buckets_json, labels_json, at_unix)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(worker, host, pid, p["name"], p.get("kind", "counter"),
+                  float(p.get("value", 0.0)),
+                  int(p["count"]) if p.get("count") is not None else None,
+                  dump_json(p["buckets"]) if p.get("buckets") else None,
+                  dump_json(p["labels"]) if p.get("labels") else None,
+                  now) for p in points])
+            self.conn.executemany(
+                "INSERT INTO telemetry_spans (worker, name, labels_json,"
+                " seconds, at_unix) VALUES (?, ?, ?, ?, ?)",
+                [(worker, s["name"],
+                  dump_json(s["labels"]) if s.get("labels") else None,
+                  float(s["seconds"]), now) for s in spans])
+        return {"points": len(points), "spans": len(spans)}
+
+    def telemetry_points(self, name: Optional[str] = None,
+                         worker: Optional[str] = None,
+                         limit: int = 100) -> List[Dict[str, Any]]:
+        """Most-recent-first telemetry points, optionally filtered."""
+        rows = self.conn.fetchall(
+            "SELECT point_id, worker, host, pid, name, kind, value, count,"
+            " buckets_json, labels_json, at_unix FROM telemetry_points"
+            " WHERE (?1 IS NULL OR name = ?1) AND (?2 IS NULL OR worker = ?2)"
+            " ORDER BY point_id DESC LIMIT ?3",
+            (name, worker, int(limit)))
+        out = []
+        for row in rows:
+            record = dict(row)
+            buckets = record.pop("buckets_json")
+            labels = record.pop("labels_json")
+            record["buckets"] = json.loads(buckets) if buckets else None
+            record["labels"] = json.loads(labels) if labels else None
+            out.append(record)
+        return out
+
+    def telemetry_totals(self, since_unix: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Counter deltas summed per metric name (the dashboard's ticker)."""
+        rows = self.conn.fetchall(
+            "SELECT name, SUM(value) AS total, COUNT(*) AS flushes,"
+            " MAX(at_unix) AS last_unix FROM telemetry_points"
+            " WHERE kind = 'counter' AND (?1 IS NULL OR at_unix >= ?1)"
+            " GROUP BY name ORDER BY name",
+            (None if since_unix is None else int(since_unix),))
+        return [dict(row) for row in rows]
+
+    def active_workers_by_run(self) -> Dict[str, int]:
+        """Distinct workers currently holding a lease, per run (``status``)."""
+        return {row["run_id"]: int(row["n"]) for row in self.conn.fetchall(
+            "SELECT run_id, COUNT(DISTINCT worker) AS n FROM jobs"
+            " WHERE state = 'leased' AND worker IS NOT NULL"
+            " GROUP BY run_id")}
+
+    def worker_roster(self, stale_seconds: int = 120) -> List[Dict[str, Any]]:
+        """Live worker roster joined from leases, lease events, telemetry.
+
+        One entry per worker ever seen in ``lease_events`` or
+        ``telemetry_points``: identity (host/pid from its latest telemetry
+        flush), the cell it currently holds a lease on, last-seen time, and
+        completion counts — including a completions-per-minute rate over the
+        trailing ``stale_seconds`` window.
+        """
+        now = self.conn.now()
+        workers: Dict[str, Dict[str, Any]] = {}
+        for row in self.conn.fetchall(
+                "SELECT worker, MAX(at_unix) AS last_seen,"
+                " SUM(CASE WHEN event = 'completed' THEN 1 ELSE 0 END)"
+                "   AS completed,"
+                " SUM(CASE WHEN event = 'claimed' THEN 1 ELSE 0 END)"
+                "   AS claimed,"
+                " SUM(CASE WHEN event = 'completed' AND at_unix >= ?"
+                "   THEN 1 ELSE 0 END) AS recent_completed"
+                " FROM lease_events WHERE worker IS NOT NULL"
+                " GROUP BY worker", (now - int(stale_seconds),)):
+            workers[row["worker"]] = {
+                "worker": row["worker"],
+                "host": None,
+                "pid": None,
+                "last_seen_unix": int(row["last_seen"]),
+                "completed": int(row["completed"]),
+                "claimed": int(row["claimed"]),
+                "cells_per_minute": round(
+                    60.0 * int(row["recent_completed"]) / max(1, stale_seconds),
+                    3),
+                "current": None,
+            }
+        for row in self.conn.fetchall(
+                "SELECT worker, host, pid, MAX(at_unix) AS last_flush"
+                " FROM telemetry_points GROUP BY worker"):
+            entry = workers.setdefault(row["worker"], {
+                "worker": row["worker"], "host": None, "pid": None,
+                "last_seen_unix": 0, "completed": 0, "claimed": 0,
+                "cells_per_minute": 0.0, "current": None,
+            })
+            entry["host"] = row["host"]
+            entry["pid"] = row["pid"]
+            entry["last_seen_unix"] = max(
+                entry["last_seen_unix"], int(row["last_flush"]))
+        for row in self.conn.fetchall(
+                "SELECT worker, run_id, cell_index, lease_expires_unix"
+                " FROM jobs WHERE state = 'leased' AND worker IS NOT NULL"):
+            entry = workers.get(row["worker"])
+            if entry is None:
+                continue
+            entry["current"] = {
+                "run_id": row["run_id"],
+                "cell_index": int(row["cell_index"]),
+                "lease_expires_unix": int(row["lease_expires_unix"])
+                if row["lease_expires_unix"] is not None else None,
+            }
+        roster = []
+        for entry in workers.values():
+            entry["age_seconds"] = now - entry["last_seen_unix"]
+            entry["alive"] = entry["age_seconds"] <= stale_seconds
+            roster.append(entry)
+        roster.sort(key=lambda e: e["worker"])
+        return roster
+
 
 __all__ = [
     "CATALOG_NAME",

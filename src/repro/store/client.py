@@ -30,15 +30,17 @@ network chaos harness (the TCP half is :mod:`repro.store.chaos`).
 from __future__ import annotations
 
 import http.client
+import json
 import os
 import socket
 import threading
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 from urllib.parse import urlsplit
 
+from repro import telemetry
 from repro.rl.stats import dump_json
 from repro.runs.faults import NetworkChaosPlan
 
@@ -163,6 +165,7 @@ class ChaosTransport:
         faults = self._matching(path)
         for fault in faults:
             self.fired.append({"kind": fault.kind, "path": path})
+            telemetry.counter("client.chaos.fired").inc()
             if fault.kind == "reset":
                 raise ConnectionResetError(
                     f"chaos: injected connection reset on {path}")
@@ -234,6 +237,8 @@ class StoreClient:
         deadline = self.timeout if timeout is None else float(timeout)
         delays = backoff_schedule(self.backoff, self.max_retries,
                                   self.retry_seed)
+        telemetry.counter("client.requests.total").inc()
+        started = time.perf_counter()
         last_error: Optional[str] = None
         last_status: Optional[int] = None
         for attempt in range(self.max_retries + 1):
@@ -249,23 +254,31 @@ class StoreClient:
                     last_error = f"server returned {status}"
                     last_status = status
                 elif 400 <= status < 500:
+                    telemetry.counter("client.requests.fatal").inc()
                     raise FatalRequestError(
                         f"{method} {path} rejected with {status}: "
                         f"{raw[:200].decode('utf-8', 'replace')}",
                         status=status)
                 else:
                     try:
-                        import json as _json
-
-                        return _json.loads(raw)
+                        response = json.loads(raw)
                     except ValueError:
                         # A 2xx with torn/non-JSON bytes: the response was
                         # corrupted in flight — safe to retry (mutations
                         # carry idempotency keys).
                         last_error = "2xx response with undecodable body"
                         last_status = status
+                    else:
+                        telemetry.histogram("client.request.seconds").record(
+                            time.perf_counter() - started)
+                        if isinstance(response, dict) and response.get("replayed"):
+                            telemetry.counter(
+                                "client.idempotent.replays").inc()
+                        return response
             if attempt < self.max_retries:
+                telemetry.counter("client.request.retries").inc()
                 self._sleep(delays[attempt])
+        telemetry.counter("client.requests.exhausted").inc()
         raise RetryableTransportError(
             f"{method} {path} failed after {self.max_retries + 1} attempts: "
             f"{last_error}", status=last_status,
@@ -337,6 +350,132 @@ class StoreClient:
             "params": dict(params), "attempts": int(attempts),
             "idempotency_key": self._next_key("release"),
         })
+
+    # ------------------------------------------------------------- telemetry
+    def post_telemetry(self, worker: str, points: List[Dict[str, Any]],
+                       spans: Optional[List[Dict[str, Any]]] = None,
+                       host: Optional[str] = None,
+                       pid: Optional[int] = None) -> Dict[str, Any]:
+        """Batch-report one telemetry flush (exactly-once: a retried batch
+        whose response was lost replays instead of double-inserting)."""
+        return self.post("/api/telemetry", {
+            "worker": worker, "points": list(points),
+            "spans": list(spans) if spans else [],
+            "host": host, "pid": pid,
+            "idempotency_key": self._next_key("telemetry"),
+        })
+
+    # -------------------------------------------------------- NDJSON streams
+    def stream(self, path: str,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Yield parsed JSON objects from one NDJSON response (no retries).
+
+        Raises :class:`RetryableTransportError` for anything transient —
+        connection failures, per-read socket timeouts, torn lines — and
+        :class:`FatalRequestError` for 4xx, matching :meth:`request`'s
+        taxonomy so callers can share recovery logic.
+        """
+        url = f"{self.base_url}{path}"
+        http_request = urllib.request.Request(url, method="GET")
+        http_request.add_header("Connection", "close")
+        deadline = self.timeout if timeout is None else float(timeout)
+        try:
+            response = urllib.request.urlopen(http_request, timeout=deadline)
+        except urllib.error.HTTPError as error:
+            if 400 <= error.code < 500:
+                raise FatalRequestError(
+                    f"GET {path} rejected with {error.code}",
+                    status=error.code)
+            raise RetryableTransportError(
+                f"GET {path} failed with {error.code}", status=error.code)
+        except (ConnectionError, TimeoutError, socket.timeout,
+                http.client.HTTPException, urllib.error.URLError,
+                OSError) as error:
+            raise RetryableTransportError(
+                f"GET {path} failed: {type(error).__name__}: {error}")
+        try:
+            with response:
+                for raw_line in response:
+                    line = raw_line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError:
+                        raise RetryableTransportError(
+                            f"GET {path} delivered a torn NDJSON line")
+        except (ConnectionError, TimeoutError, socket.timeout,
+                http.client.HTTPException, OSError) as error:
+            raise RetryableTransportError(
+                f"GET {path} stream broke: {type(error).__name__}: {error}")
+
+    def follow_campaign(self, run_id: str, poll_timeout: float = 30.0,
+                        max_reconnects: Optional[int] = None
+                        ) -> Iterator[Dict[str, Any]]:
+        """Follow a campaign's event stream across reconnects.
+
+        Resumes from the last-seen event after server ``shutdown`` /
+        ``timeout`` events and transient transport failures: cell events are
+        deduplicated by their latest seen status and the snapshot is
+        forwarded only once, so a consumer sees each transition exactly once
+        no matter how many times the underlying stream reconnects (the
+        PR 9 kill+restart scenario).  Ends after the terminal ``run`` /
+        ``error`` event; raises :class:`RetryableTransportError` only once
+        ``max_reconnects`` (default: the client's retry budget) consecutive
+        attempts yield no events.
+        """
+        budget = self.max_retries if max_reconnects is None else int(
+            max_reconnects)
+        delays = backoff_schedule(self.backoff, max(budget, 1),
+                                  self.retry_seed ^ 0x51A3)
+        seen: Dict[int, str] = {}
+        snapshot_sent = False
+        misses = 0
+        while True:
+            try:
+                for event in self.stream(
+                        f"/api/campaigns/{run_id}/stream"
+                        f"?timeout={poll_timeout}",
+                        timeout=poll_timeout + self.timeout):
+                    kind = event.get("event")
+                    if kind == "snapshot":
+                        misses = 0
+                        if not snapshot_sent:
+                            snapshot_sent = True
+                            yield event
+                    elif kind == "cell":
+                        misses = 0
+                        index = int(event["index"])
+                        if seen.get(index) == event["status"]:
+                            continue
+                        seen[index] = event["status"]
+                        yield event
+                    elif kind in ("run", "error"):
+                        yield event
+                        return
+                    elif kind == "shutdown":
+                        telemetry.counter("client.stream.shutdowns").inc()
+                        yield event
+                        break  # reconnect once the server is back
+                    elif kind == "timeout":
+                        break  # idle long-poll expiry: reconnect immediately
+                    else:
+                        yield event
+                else:
+                    # Stream ended without a terminal event (torn mid-line
+                    # EOF short of an exception): treat as a lost stream.
+                    misses += 1
+            except RetryableTransportError:
+                misses += 1
+            except FatalRequestError:
+                raise
+            if misses > budget:
+                raise RetryableTransportError(
+                    f"stream of {run_id!r} lost after {misses} consecutive"
+                    " reconnect attempts", attempts=misses)
+            if misses:
+                telemetry.counter("client.stream.reconnects").inc()
+                self._sleep(delays[min(misses - 1, len(delays) - 1)])
 
 
 __all__ = [

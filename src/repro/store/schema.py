@@ -38,6 +38,16 @@ service knows:
     delivery from the network) replays the recorded response instead of
     re-applying — which is what makes a retried ``complete`` unable to
     double-apply.
+``telemetry_points`` / ``telemetry_spans``
+    Observability (schema v3): periodic flushes from ``repro.telemetry``.
+    Points are *delta* snapshots per flush interval — counters reset after
+    every snapshot, so summing ``value`` over rows gives the true total;
+    gauges are last-write-wins; histograms store their preallocated bucket
+    layout as JSON in ``buckets_json``.  Spans are individual
+    ``time.perf_counter`` timings (name + labels + seconds).  ``at_unix``
+    is stamped by the catalogue's SQL clock at persist time, never by the
+    reporting process's wall clock.  The ``/api/workers`` roster joins
+    these tables with ``jobs`` and ``lease_events``.
 
 Schema changes bump :data:`SCHEMA_VERSION`; ``ensure_schema`` refuses to
 open a catalogue written by a newer version, and upgrades older catalogues
@@ -52,7 +62,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.store.connection import StoreConnection
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Job states in the cooperative queue.
 JOB_STATES = ("pending", "leased", "done", "failed")
@@ -156,6 +166,35 @@ CREATE TABLE IF NOT EXISTS idempotency (
     response_json TEXT NOT NULL,
     at_unix       INTEGER NOT NULL
 );
+
+CREATE TABLE IF NOT EXISTS telemetry_points (
+    point_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+    worker      TEXT NOT NULL,
+    host        TEXT,
+    pid         INTEGER,
+    name        TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    value       REAL NOT NULL,
+    count       INTEGER,
+    buckets_json TEXT,
+    labels_json TEXT,
+    at_unix     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS telemetry_points_by_name
+    ON telemetry_points(name, at_unix);
+CREATE INDEX IF NOT EXISTS telemetry_points_by_worker
+    ON telemetry_points(worker, at_unix);
+
+CREATE TABLE IF NOT EXISTS telemetry_spans (
+    span_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    worker      TEXT NOT NULL,
+    name        TEXT NOT NULL,
+    labels_json TEXT,
+    seconds     REAL NOT NULL,
+    at_unix     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS telemetry_spans_by_name
+    ON telemetry_spans(name, at_unix);
 """
 
 

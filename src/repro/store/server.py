@@ -9,7 +9,10 @@ access.
 Endpoints
 ---------
 ``GET  /api/health``                     liveness + queue depth + lease count
-                                         + draining flag
+                                         + draining flag + schema version,
+                                         start time, and code version (so
+                                         fleet operators can detect version
+                                         skew before a drain)
 ``GET  /api/experiments``                registered experiment ids
 ``POST /api/campaigns``                  submit: ``{"experiment": "table5",
                                          "scale": "smoke", "seed": 0}``
@@ -27,6 +30,22 @@ Endpoints
 ``POST /api/jobs/complete``              upload a finished row, mark done
 ``POST /api/jobs/release``               give a failed job back
 ``GET  /api/query?metric=..&by=..``      cross-run aggregation
+``GET  /api/workers``                    live worker roster (leases +
+                                         heartbeats + telemetry: host, pid,
+                                         current cell, last-seen, rates)
+``GET  /api/telemetry``                  recent telemetry points + counter
+                                         totals (``?name=``, ``?worker=``,
+                                         ``?limit=``)
+``POST /api/telemetry``                  batch-report a worker's metric
+                                         flush (exactly-once via the same
+                                         idempotency machinery as the lease
+                                         protocol)
+
+Observability: every request increments a per-endpoint counter and lands in
+a latency histogram (``server.requests.<endpoint>`` /
+``server.request.seconds``); a background ``TelemetryFlusher`` persists the
+server's own metrics into the catalogue it serves.  All of it is inert
+under ``REPRO_TELEMETRY=0``.
 
 Exactly-once mutations: every mutating job request may carry an
 ``idempotency_key``; the key lookup, the queue transition, the catalogue
@@ -52,18 +71,22 @@ and worker writes coexist under WAL.
 from __future__ import annotations
 
 import json
+import os
 import signal
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro import telemetry
 from repro.rl.stats import dump_json
 from repro.runs.artifacts import atomic_write_json
-from repro.store.catalog import Catalog, catalog_path
+from repro.store.catalog import Catalog, catalog_path, code_version
 from repro.store.query import aggregate_bench, aggregate_metric
+from repro.store.schema import SCHEMA_VERSION
 from repro.store.queue import (
     DEFAULT_JOB_ATTEMPTS,
     DEFAULT_LEASE_TTL,
@@ -104,7 +127,26 @@ class CampaignServer(ThreadingHTTPServer):
         self.catalog_file = catalog_path(self.root)
         self.shutdown_event = threading.Event()
         self.draining = False
+        self.code_version = code_version()
+        # Opening the catalogue here both ensures the schema exists before
+        # the first request and stamps the start time on the catalogue's SQL
+        # clock (the wall clock is lint-banned in repro code).
+        with Catalog(self.catalog_file) as catalog:
+            self.started_unix = catalog.conn.now()
+        self._started_monotonic = time.perf_counter()
+        self.telemetry_flusher = telemetry.TelemetryFlusher(
+            telemetry.CatalogSink(
+                self.catalog_file,
+                worker=f"serve-{socket.gethostname()}-{os.getpid()}"))
+        self.telemetry_flusher.start()
         super().__init__(address, CampaignRequestHandler)
+
+    def uptime_seconds(self) -> float:
+        return time.perf_counter() - self._started_monotonic
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.telemetry_flusher.stop()
 
     def shutdown(self) -> None:
         # Wake long-poll streams *before* stopping the accept loop, so the
@@ -133,6 +175,7 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        started = time.perf_counter()
         try:
             if parts == ["api", "health"]:
                 self._health()
@@ -155,6 +198,10 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
                 self._jobs_overview(query)
             elif parts == ["api", "query"]:
                 self._query(query)
+            elif parts == ["api", "workers"]:
+                self._workers(query)
+            elif parts == ["api", "telemetry"]:
+                self._telemetry_read(query)
             else:
                 self._json(404, {"error": f"no route for {url.path}"})
         except ValueError as error:
@@ -163,10 +210,13 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             pass
         except Exception as error:  # pragma: no cover - defensive 500
             self._json(500, {"error": f"{type(error).__name__}: {error}"})
+        finally:
+            self._observe_request("GET", parts, started)
 
     def do_POST(self) -> None:  # noqa: N802
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        started = time.perf_counter()
         try:
             if parts == ["api", "campaigns"]:
                 self._submit()
@@ -178,12 +228,23 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
                 self._job_complete()
             elif parts == ["api", "jobs", "release"]:
                 self._job_release()
+            elif parts == ["api", "telemetry"]:
+                self._telemetry_report()
             else:
                 self._json(404, {"error": f"no route for {url.path}"})
         except (ValueError, KeyError) as error:
             self._json(400, {"error": str(error)})
         except Exception as error:  # pragma: no cover - defensive 500
             self._json(500, {"error": f"{type(error).__name__}: {error}"})
+        finally:
+            self._observe_request("POST", parts, started)
+
+    def _observe_request(self, method: str, parts: List[str],
+                         started: float) -> None:
+        label = _endpoint_label(method, parts)
+        telemetry.counter("server.requests." + label).inc()
+        telemetry.histogram("server.request.seconds").record(
+            time.perf_counter() - started)
 
     # -------------------------------------------------------------- handlers
     def _read_body(self) -> Dict[str, Any]:
@@ -206,6 +267,8 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
     def _health(self) -> None:
         with Catalog(self.server.catalog_file) as catalog:
             counts = JobQueue(catalog).counts()
+        telemetry.gauge("server.queue.depth").set(counts.get("pending", 0))
+        telemetry.gauge("server.queue.leased").set(counts.get("leased", 0))
         self._json(200, {
             "ok": True, "catalog": str(self.server.catalog_file),
             "root": str(self.server.root),
@@ -213,7 +276,43 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             "queue": counts,
             "queue_depth": counts.get("pending", 0),
             "active_leases": counts.get("leased", 0),
+            "schema_version": SCHEMA_VERSION,
+            "started_unix": self.server.started_unix,
+            "uptime_seconds": round(self.server.uptime_seconds(), 3),
+            "code_version": self.server.code_version,
         })
+
+    def _workers(self, query: Dict[str, str]) -> None:
+        stale = int(query.get("stale_seconds", 120))
+        with Catalog(self.server.catalog_file) as catalog:
+            roster = catalog.worker_roster(stale_seconds=stale)
+        self._json(200, {"workers": roster, "stale_seconds": stale})
+
+    def _telemetry_read(self, query: Dict[str, str]) -> None:
+        limit = int(query.get("limit", 100))
+        with Catalog(self.server.catalog_file) as catalog:
+            points = catalog.telemetry_points(
+                name=query.get("name"), worker=query.get("worker"),
+                limit=limit)
+            totals = catalog.telemetry_totals(
+                since_unix=int(query["since"]) if "since" in query else None)
+        self._json(200, {"points": points, "totals": totals})
+
+    def _telemetry_report(self) -> None:
+        body = self._read_body()
+        worker = str(body.get("worker") or "remote")
+        points = body.get("points") or []
+        spans = body.get("spans") or []
+        if not isinstance(points, list) or not isinstance(spans, list):
+            raise ValueError('"points" and "spans" must be JSON arrays')
+
+        def apply(catalog: Catalog) -> Dict[str, Any]:
+            recorded = catalog.record_telemetry(
+                worker, points, spans,
+                host=body.get("host"), pid=body.get("pid"))
+            return {"recorded": recorded, "worker": worker}
+
+        self._mutate("telemetry", body, apply)
 
     def _submit(self) -> None:
         from repro.store.worker import submit_campaign
@@ -466,6 +565,20 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             super().handle()
         except _Responded:
             pass
+
+
+def _endpoint_label(method: str, parts: List[str]) -> str:
+    """Low-cardinality metric label for one request path."""
+    if len(parts) >= 2 and parts[0] == "api":
+        if parts[1] == "campaigns" and len(parts) >= 4:
+            tail = parts[3] if parts[3] in ("rows", "stream") else "detail"
+            return f"{method}.campaigns.{tail}"
+        if parts[1] == "campaigns" and len(parts) == 3:
+            return f"{method}.campaigns.detail"
+        if parts[1] == "jobs" and len(parts) == 3:
+            return f"{method}.jobs.{parts[2]}"
+        return f"{method}.{parts[1]}"
+    return f"{method}.other"
 
 
 class _Responded(BaseException):

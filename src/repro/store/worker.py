@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro import telemetry
 from repro.experiments.common import ScaleLike, resolve_scale
 from repro.runs.artifacts import atomic_write_json, load_json
 from repro.runs.faults import resolve_fault_plan, resolve_network_chaos_plan
@@ -227,11 +228,17 @@ class _Heartbeat:
 
     def _run(self) -> None:
         interval = max(1.0, self._ttl / 3.0)
+        gap_seconds = telemetry.histogram("worker.heartbeat.gap_seconds")
+        last = time.perf_counter()
         with Catalog(self._path) as catalog:
             queue = JobQueue(catalog)
             while not self._stop.wait(interval):
                 if not queue.heartbeat(self._job, self._worker_id, self._ttl):
+                    telemetry.counter("worker.heartbeat.lost").inc()
                     return  # lease lost; the claim's new owner re-runs the cell
+                now = time.perf_counter()
+                gap_seconds.record(now - last)
+                last = now
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -261,16 +268,25 @@ class _RemoteHeartbeat:
 
     def _run(self) -> None:
         interval = max(1.0, self._ttl / 3.0)
+        gap_seconds = telemetry.histogram("worker.heartbeat.gap_seconds")
+        last = time.perf_counter()
         while not self._stop.wait(interval):
             try:
                 if not self._client.heartbeat(self._job.run_id,
                                               self._job.cell_index,
                                               self._ttl):
+                    telemetry.counter("worker.heartbeat.lost").inc()
                     return  # lease lost to a reclaim
             except RetryableTransportError:
-                continue  # server unreachable; keep trying until told to stop
+                # Server unreachable; keep trying until told to stop.  The
+                # gap histogram only advances on success, so the next
+                # successful beat records the true outage-spanning gap.
+                continue
             except FatalRequestError:
                 return
+            now = time.perf_counter()
+            gap_seconds.record(now - last)
+            last = now
 
     def __enter__(self) -> "_RemoteHeartbeat":
         self._thread.start()
@@ -350,6 +366,9 @@ class _LocalBackend:
         if self.queue.outstanding(job.run_id) == 0:
             _finalize_run(self.catalog, Path(job.payload["out_dir"]))
 
+    def telemetry_sink(self, worker_id: str) -> Any:
+        return telemetry.CatalogSink(self.path, worker=worker_id)
+
     def close(self) -> None:
         self.catalog.close()
 
@@ -428,6 +447,12 @@ class _RemoteBackend:
     def finalize(self, job: Job) -> None:
         pass  # the server materializes results.json from catalogue rows
 
+    def telemetry_sink(self, worker_id: str) -> Any:
+        # Telemetry reports ride the chaos-free heartbeat client: flushes
+        # fire on a timer, so letting them consume chaos request indices
+        # would make the drain protocol's fault schedule nondeterministic.
+        return telemetry.ClientSink(self.heartbeat_client, worker=worker_id)
+
     def close(self) -> None:
         pass
 
@@ -468,13 +493,18 @@ def work(root: os.PathLike = "runs", run_id: Optional[str] = None,
                 else catalog_path(Path(root)))
         backend = _LocalBackend(path, worker_id,
                                 max_job_attempts=max_job_attempts)
+    claim_seconds = telemetry.histogram("worker.claim.seconds")
+    flusher = telemetry.TelemetryFlusher(backend.telemetry_sink(worker_id))
+    flusher.start()
     job: Optional[Job] = None
     try:
         with _SignalGuard():
             while True:
                 if max_cells is not None and len(summary.cells) >= max_cells:
                     break
+                claim_started = time.perf_counter()
                 job = backend.claim(run_id, lease_ttl)
+                claim_seconds.record(time.perf_counter() - claim_started)
                 if job is None:
                     if watch or backend.outstanding(run_id):
                         # Another worker holds a live lease (or new work may
@@ -482,8 +512,10 @@ def work(root: os.PathLike = "runs", run_id: Optional[str] = None,
                         time.sleep(poll_seconds)
                         continue
                     break
+                telemetry.counter("worker.claims.total").inc()
                 if job.reclaimed_from is not None:
                     summary.reclaimed += 1
+                    telemetry.counter("worker.claims.reclaimed").inc()
                 payload = backend.localize(job)
                 with backend.heartbeat_channel(job, lease_ttl):
                     outcome = _attempt_cell(payload)
@@ -496,6 +528,7 @@ def work(root: os.PathLike = "runs", run_id: Optional[str] = None,
                                         attempts,
                                         _elapsed_from(Path(payload["cell_dir"]))):
                         summary.completed += 1
+                        telemetry.counter("worker.cells.completed").inc()
                     # else: the lease was reclaimed while we ran; the new
                     # owner re-executes the (idempotent) cell and records it.
                 else:
@@ -503,8 +536,10 @@ def work(root: os.PathLike = "runs", run_id: Optional[str] = None,
                                                 outcome.get("error"), attempts)
                     if new_state == "failed":
                         summary.failed += 1
+                        telemetry.counter("worker.cells.failed").inc()
                     else:
                         summary.released += 1
+                        telemetry.counter("worker.cells.released").inc()
                     record["error"] = outcome.get("error")
                 summary.cells.append(record)
                 backend.finalize(job)
@@ -527,6 +562,7 @@ def work(root: os.PathLike = "runs", run_id: Optional[str] = None,
                                   "attempts": job.attempts,
                                   "error": str(signalled)})
     finally:
+        flusher.stop()
         backend.close()
     return summary
 

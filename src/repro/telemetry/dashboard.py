@@ -1,0 +1,210 @@
+"""``repro top`` — a live terminal dashboard over the campaign service.
+
+Renders three panes from the observability endpoints added in schema v3:
+
+* **campaigns** — per-run progress bars from the catalogue's derived
+  counters (``GET /api/campaigns`` or ``Catalog.list_runs``),
+* **workers** — the live roster synthesized from lease heartbeats and
+  telemetry flushes (``GET /api/workers`` / ``Catalog.worker_roster``):
+  host, pid, the cell currently leased, last-seen age, throughput,
+* **telemetry** — the busiest counters by summed delta
+  (``GET /api/telemetry`` / ``Catalog.telemetry_totals``).
+
+Two sources mirror the two transports: :class:`ServerSource` speaks HTTP
+through :class:`~repro.store.client.StoreClient` (so it inherits retry,
+backoff, and chaos discipline) and keeps working across server restarts;
+:class:`LocalSource` reads ``catalog.sqlite`` directly for ``repro top``
+pointed at a runs tree.  Rendering is plain ANSI — no curses dependency —
+so ``--once`` output is equally usable in CI logs and pipes.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+BAR_WIDTH = 24
+TICKER_ROWS = 10
+
+
+class ServerSource:
+    """Snapshot provider backed by a running ``repro serve`` instance."""
+
+    def __init__(self, client) -> None:
+        self.client = client
+
+    def describe(self) -> str:
+        return self.client.base_url
+
+    def snapshot(self) -> Dict[str, Any]:
+        from repro.store.client import StoreClientError
+
+        snap: Dict[str, Any] = {"source": self.describe(), "health": None,
+                                "campaigns": [], "workers": [], "totals": [],
+                                "error": None}
+        try:
+            snap["health"] = self.client.health()
+            snap["campaigns"] = self.client.get(
+                "/api/campaigns").get("campaigns", [])
+            snap["workers"] = self.client.get(
+                "/api/workers").get("workers", [])
+            snap["totals"] = self.client.get(
+                "/api/telemetry?limit=1").get("totals", [])
+        except StoreClientError as error:
+            # A restarting or drained server renders as an error banner; the
+            # next refresh reconnects through the client's own retry loop.
+            snap["error"] = str(error)
+        return snap
+
+
+class LocalSource:
+    """Snapshot provider reading ``catalog.sqlite`` directly (no server)."""
+
+    def __init__(self, catalog_file: Path) -> None:
+        self.catalog_file = Path(catalog_file)
+
+    def describe(self) -> str:
+        return str(self.catalog_file)
+
+    def snapshot(self) -> Dict[str, Any]:
+        from repro.store.catalog import Catalog
+        from repro.store.queue import JobQueue
+
+        snap: Dict[str, Any] = {"source": self.describe(), "health": None,
+                                "campaigns": [], "workers": [], "totals": [],
+                                "error": None}
+        if not self.catalog_file.exists():
+            snap["error"] = f"no catalogue at {self.catalog_file}"
+            return snap
+        try:
+            with Catalog(self.catalog_file) as catalog:
+                counts = JobQueue(catalog).counts()
+                snap["health"] = {"ok": True, "queue": counts,
+                                  "catalog": str(self.catalog_file)}
+                snap["campaigns"] = catalog.list_runs()
+                snap["workers"] = catalog.worker_roster()
+                snap["totals"] = catalog.telemetry_totals()
+        except Exception as error:  # pragma: no cover - locked/corrupt file
+            snap["error"] = f"{type(error).__name__}: {error}"
+        return snap
+
+
+def _progress_bar(completed: int, total: int, width: int = BAR_WIDTH) -> str:
+    total = max(total, 1)
+    filled = int(round(width * min(completed, total) / total))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _age(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "never"
+    seconds = max(0.0, float(seconds))
+    if seconds < 100:
+        return f"{seconds:.0f}s"
+    if seconds < 6000:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _render_campaigns(campaigns: List[Dict[str, Any]]) -> List[str]:
+    lines = ["campaigns"]
+    if not campaigns:
+        return lines + ["  (none recorded)"]
+    for record in campaigns:
+        total = int(record.get("cells") or 0)
+        completed = int(record.get("completed") or 0)
+        failed = int(record.get("failed") or 0)
+        bar = _progress_bar(completed, total)
+        failures = f"  failed={failed}" if failed else ""
+        lines.append(f"  {record['run_id']:<28} {bar} "
+                     f"{completed:>3}/{total:<3} {record.get('status', '?')}"
+                     f"{failures}")
+    return lines
+
+
+def _render_workers(workers: List[Dict[str, Any]]) -> List[str]:
+    lines = ["workers"]
+    if not workers:
+        return lines + ["  (no workers seen yet)"]
+    header = (f"  {'worker':<24} {'host':<12} {'pid':>6} {'state':<7} "
+              f"{'last-seen':>9} {'cells/min':>9} {'done':>5}  current")
+    lines.append(header)
+    for worker in workers:
+        current = worker.get("current") or {}
+        cell = (f"{current.get('run_id', '')}#{current.get('cell_index')}"
+                if current else "-")
+        state = "alive" if worker.get("alive") else "stale"
+        host = str(worker.get("host") or "?")
+        pid = worker.get("pid")
+        lines.append(
+            f"  {str(worker.get('worker', '?')):<24} {host:<12} "
+            f"{pid if pid is not None else '?':>6} {state:<7} "
+            f"{_age(worker.get('age_seconds')):>9} "
+            f"{worker.get('cells_per_minute', 0.0):>9} "
+            f"{worker.get('completed', 0):>5}  {cell}")
+    return lines
+
+
+def _render_ticker(totals: List[Dict[str, Any]]) -> List[str]:
+    lines = ["telemetry (summed counter deltas)"]
+    if not totals:
+        return lines + ["  (no points flushed yet)"]
+    ranked = sorted(totals, key=lambda t: -float(t.get("total") or 0.0))
+    for entry in ranked[:TICKER_ROWS]:
+        lines.append(f"  {entry['name']:<44} {float(entry['total']):>12.3f} "
+                     f"({entry.get('flushes', 0)} flushes)")
+    return lines
+
+
+def render(snapshot: Dict[str, Any]) -> str:
+    """One full dashboard frame as plain text (no trailing newline)."""
+    lines: List[str] = []
+    health = snapshot.get("health") or {}
+    queue = health.get("queue") or {}
+    banner = f"repro top — {snapshot.get('source', '?')}"
+    if health:
+        extras = [f"queue pending={queue.get('pending', 0)}"
+                  f" leased={queue.get('leased', 0)}"]
+        if "schema_version" in health:
+            extras.append(f"schema=v{health['schema_version']}")
+        if "uptime_seconds" in health:
+            extras.append(f"up {_age(health['uptime_seconds'])}")
+        if health.get("draining"):
+            extras.append("DRAINING")
+        banner += "  (" + ", ".join(extras) + ")"
+    lines.append(banner)
+    if snapshot.get("error"):
+        lines.append(f"  ! {snapshot['error']}")
+    lines.append("")
+    lines.extend(_render_campaigns(snapshot.get("campaigns", [])))
+    lines.append("")
+    lines.extend(_render_workers(snapshot.get("workers", [])))
+    lines.append("")
+    lines.extend(_render_ticker(snapshot.get("totals", [])))
+    return "\n".join(lines)
+
+
+def run_dashboard(source, interval: float = 2.0, once: bool = False,
+                  frames: Optional[int] = None, stream=None) -> int:
+    """Refresh loop.  ``once`` prints a single frame (CI / pipes); live mode
+    clears the screen between frames and exits cleanly on Ctrl-C."""
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    shown = 0
+    try:
+        while True:
+            frame = render(source.snapshot())
+            if once or frames is not None:
+                out.write(frame + "\n")
+            else:
+                out.write(CLEAR_SCREEN + frame + "\n")
+            out.flush()
+            shown += 1
+            if once or (frames is not None and shown >= frames):
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

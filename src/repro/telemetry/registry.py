@@ -1,0 +1,276 @@
+"""Process-local metric registry: counters, gauges, fixed-bucket histograms, spans.
+
+Design contract (mirrors the hot-path doctrine in ``repro.lint``):
+
+* **Alloc-free record paths.**  ``Counter.inc`` / ``Gauge.set`` /
+  ``Histogram.record`` touch only preallocated state — the histogram's
+  bucket-edge and count arrays are numpy arrays sized at construction,
+  and ``record`` does a ``searchsorted`` plus an in-place increment.  No
+  dict, list, or array construction happens on the record path; the
+  ``telemetry.record-alloc`` lint rule enforces this.
+* **Monotonic clock only.**  Spans time with ``time.perf_counter``.
+  Nothing in this module reads the wall clock; cross-process timestamps
+  are stamped by the catalogue's SQL clock at persist time
+  (``Catalog.record_telemetry``).
+* **Best-effort under threads.**  Record paths are deliberately
+  lock-free (a lost increment under a rare race is acceptable for
+  telemetry); the registry lock only guards metric creation, span
+  buffering, and snapshot/drain.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+#: Default histogram bucket upper edges, in seconds.  Spans campaign work
+#: from sub-millisecond store round-trips to multi-second training cells.
+DEFAULT_BUCKET_EDGES = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: Cap on buffered spans between flushes; older spans win, new ones are
+#: dropped (and counted) so a stuck flusher cannot grow memory unboundedly.
+MAX_PENDING_SPANS = 2048
+
+
+class Counter:
+    """Monotonically increasing value (floats allowed for seconds totals)."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def point(self) -> dict:
+        return {"name": self.name, "kind": "counter", "value": float(self.value)}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    @property
+    def empty(self) -> bool:
+        return self.value == 0.0
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (queue depth, rates)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "updated")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.updated = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updated = True
+
+    def point(self) -> dict:
+        return {"name": self.name, "kind": "gauge", "value": float(self.value)}
+
+    def reset(self) -> None:
+        # Gauges keep their last value across flushes; only the dirty bit
+        # clears so an unchanged gauge is not re-reported every interval.
+        self.updated = False
+
+    @property
+    def empty(self) -> bool:
+        return not self.updated
+
+
+class Histogram:
+    """Fixed-bucket histogram backed by preallocated numpy arrays.
+
+    ``record`` is alloc-free: a scalar ``searchsorted`` against the
+    preallocated edge array plus an in-place count increment.  Bucket ``i``
+    counts values ``<= edges[i]``; the final slot is the overflow bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "edges", "counts", "sum", "count")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_BUCKET_EDGES) -> None:
+        self.name = name
+        self.edges = np.asarray(edges, dtype=np.float64)
+        if self.edges.ndim != 1 or self.edges.shape[0] == 0:
+            raise ValueError("histogram edges must be a non-empty 1-D sequence")
+        self.counts = np.zeros(self.edges.shape[0] + 1, dtype=np.int64)
+        self.sum = 0.0
+        self.count = 0
+
+    def record(self, value: float) -> None:
+        self.counts[int(np.searchsorted(self.edges, value))] += 1
+        self.sum += value
+        self.count += 1
+
+    def point(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": "histogram",
+            "value": float(self.sum),
+            "count": int(self.count),
+            "buckets": {
+                "edges": [float(edge) for edge in self.edges],
+                "counts": [int(c) for c in self.counts],
+            },
+        }
+
+    def reset(self) -> None:
+        self.counts[:] = 0
+        self.sum = 0.0
+        self.count = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class Span:
+    """Context manager timing one operation with ``time.perf_counter``.
+
+    On exit the duration is appended to the owning registry's span buffer;
+    the buffer is drained (not reset in place) by the flusher, so spans are
+    reported exactly once.
+    """
+
+    __slots__ = ("_registry", "name", "labels", "seconds", "_started")
+
+    def __init__(self, registry: "MetricRegistry", name: str, labels: Mapping[str, object]) -> None:
+        self._registry = registry
+        self.name = name
+        self.labels = labels
+        self.seconds: Optional[float] = None
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._started
+        self._registry.record_span(self.name, self.labels, self.seconds)
+        return False
+
+
+class NullMetric:
+    """Shared do-nothing stand-in returned when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def record(self, value: float) -> None:
+        pass
+
+
+class NullSpan:
+    """Stateless no-op span; a single shared instance is safe to reuse."""
+
+    __slots__ = ()
+    seconds = None
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_METRIC = NullMetric()
+NULL_SPAN = NullSpan()
+
+
+class MetricRegistry:
+    """Name-keyed store of process-local metrics plus a bounded span buffer."""
+
+    def __init__(self, max_pending_spans: int = MAX_PENDING_SPANS) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+        self._spans: List[dict] = []
+        self._max_pending_spans = max_pending_spans
+        self.dropped_spans = 0
+
+    def _get(self, name: str, cls, *args) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}, "
+                    f"requested {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str, edges: Optional[Sequence[float]] = None) -> Histogram:
+        if edges is None:
+            return self._get(name, Histogram)  # type: ignore[return-value]
+        return self._get(name, Histogram, edges)  # type: ignore[return-value]
+
+    def span(self, name: str, **labels: object) -> Span:
+        return Span(self, name, labels)
+
+    def record_span(self, name: str, labels: Mapping[str, object], seconds: float) -> None:
+        with self._lock:
+            if len(self._spans) >= self._max_pending_spans:
+                self.dropped_spans += 1
+                return
+            self._spans.append(
+                {"name": name, "labels": dict(labels), "seconds": float(seconds)}
+            )
+
+    def snapshot(self, reset: bool = True) -> List[dict]:
+        """Return points for every metric that changed since the last reset."""
+        with self._lock:
+            points = []
+            for metric in self._metrics.values():
+                if metric.empty:
+                    continue
+                points.append(metric.point())
+                if reset:
+                    metric.reset()
+            return points
+
+    def drain_spans(self) -> List[dict]:
+        with self._lock:
+            spans, self._spans = self._spans, []
+            return spans

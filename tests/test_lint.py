@@ -500,6 +500,91 @@ class TestStoreClientRule:
                     if f.rule == "artifacts.store-client"]
 
 
+# ----------------------------------------------------------------- telemetry
+class TestTelemetryRules:
+    REL = "src/repro/telemetry/snippet.py"
+
+    def test_record_alloc_dict_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "class Metric:\n"
+            "    def record(self, value):\n"
+            "        self.points = {'value': value}\n"), rel=self.REL)
+        assert rules_of(active) == {"telemetry.record-alloc"}
+
+    def test_record_alloc_numpy_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import numpy as np\n"
+            "class Hist:\n"
+            "    def record(self, value):\n"
+            "        self.counts = np.zeros(16)\n"), rel=self.REL)
+        assert rules_of(active) == {"telemetry.record-alloc"}
+
+    def test_record_alloc_comprehension_in_inc_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "class Counter:\n"
+            "    def inc(self, amount=1.0):\n"
+            "        self.log = [amount for _ in range(2)]\n"), rel=self.REL)
+        assert rules_of(active) == {"telemetry.record-alloc"}
+
+    def test_record_inplace_good(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import numpy as np\n"
+            "class Hist:\n"
+            "    def __init__(self):\n"
+            "        self.counts = np.zeros(16)\n"  # __init__ may allocate
+            "    def record(self, value):\n"
+            "        self.counts[int(np.searchsorted(self.counts, value))] += 1\n"
+            "    def inc(self, amount=1.0):\n"
+            "        self.value += amount\n"), rel=self.REL)
+        assert not active
+
+    def test_record_alloc_raise_path_exempt(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "class Metric:\n"
+            "    def record(self, value):\n"
+            "        if value < 0:\n"
+            "            raise ValueError({'bad': value})\n"
+            "        self.value += value\n"), rel=self.REL)
+        assert not active
+
+    def test_record_alloc_only_in_telemetry_package(self, tmp_path):
+        # The same code outside repro/telemetry/ is not a record path.
+        active, _ = lint_snippet(tmp_path, (
+            "class Metric:\n"
+            "    def record(self, value):\n"
+            "        self.points = {'value': value}\n"),
+            rel="src/repro/runs/snippet.py")
+        assert "telemetry.record-alloc" not in rules_of(active)
+
+    def test_datetime_now_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "import datetime\n"
+            "def stamp():\n"
+            "    return datetime.datetime.now()\n"))
+        assert rules_of(active) == {"telemetry.datetime-wall-clock"}
+
+    def test_datetime_from_import_bad(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "from datetime import date, datetime\n"
+            "def stamp():\n"
+            "    return datetime.utcnow(), date.today()\n"))
+        findings = [f for f in active
+                    if f.rule == "telemetry.datetime-wall-clock"]
+        assert len(findings) == 2
+
+    def test_datetime_arithmetic_good(self, tmp_path):
+        active, _ = lint_snippet(tmp_path, (
+            "from datetime import datetime, timedelta\n"
+            "def span(start, end):\n"
+            "    return datetime.fromtimestamp(end) - timedelta(seconds=start)\n"))
+        assert not active
+
+    def test_repo_tree_has_no_wall_clock_datetimes(self):
+        report = run_lint([SRC / "repro"])
+        assert not [f for f in report.findings
+                    if f.rule == "telemetry.datetime-wall-clock"]
+
+
 # -------------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_parse_suppressions(self):
@@ -680,10 +765,10 @@ class TestCli:
                      "lint.unsanctioned-suppression"):
             assert rule in result.stdout
 
-    def test_catalogue_has_six_families(self):
+    def test_catalogue_has_seven_families(self):
         families = {rule.split(".")[0] for rule in rule_catalogue()}
         assert {"determinism", "hotpath", "spec", "dtype",
-                "registry", "artifacts"} <= families
+                "registry", "artifacts", "telemetry"} <= families
 
 
 # ---------------------------------------------------------------------- mypy

@@ -54,7 +54,8 @@ class TestConnection:
             tables = {r["name"] for r in conn.fetchall(
                 "SELECT name FROM sqlite_master WHERE type = 'table'")}
             assert {"runs", "cells", "metrics", "bench", "jobs",
-                    "lease_events", "provenance", "meta"} <= tables
+                    "lease_events", "provenance", "meta", "idempotency",
+                    "telemetry_points", "telemetry_spans"} <= tables
 
     def test_refuses_newer_schema(self, tmp_path):
         path = tmp_path / "catalog.sqlite"
@@ -88,10 +89,25 @@ class TestConnection:
                          "WHERE key = 'schema_version'")
         with connect(path) as conn:
             assert conn.scalar("SELECT value FROM meta "
-                               "WHERE key = 'schema_version'") == "2"
+                               "WHERE key = 'schema_version'") == "3"
             assert conn.scalar(
                 "SELECT COUNT(*) FROM sqlite_master "
                 "WHERE type = 'table' AND name = 'idempotency'") == 1
+
+    def test_upgrades_v2_catalog_in_place(self, tmp_path):
+        # A pre-PR-10 catalogue: no telemetry tables, schema_version '2'.
+        path = tmp_path / "catalog.sqlite"
+        with connect(path) as conn:
+            conn.execute("DROP TABLE telemetry_points")
+            conn.execute("DROP TABLE telemetry_spans")
+            conn.execute("UPDATE meta SET value = '2' "
+                         "WHERE key = 'schema_version'")
+        with connect(path) as conn:
+            assert conn.scalar("SELECT value FROM meta "
+                               "WHERE key = 'schema_version'") == "3"
+            assert conn.scalar(
+                "SELECT COUNT(*) FROM sqlite_master WHERE type = 'table'"
+                " AND name IN ('telemetry_points', 'telemetry_spans')") == 2
 
 
 # --------------------------------------------------------------------------
@@ -629,6 +645,99 @@ class TestServer:
             urllib.request.urlopen(request)
         assert err.value.code == 400
 
+    def test_health_reports_version_and_uptime(self, server_root):
+        root, port = server_root
+        health = _get(port, "/api/health")
+        assert health["schema_version"] == 3
+        assert health["started_unix"] > 1_700_000_000
+        assert health["uptime_seconds"] >= 0.0
+        assert health["code_version"]
+        assert "queue_depth" in health
+
+    def test_telemetry_report_read_and_roster(self, server_root):
+        from repro.store.client import StoreClient
+
+        root, port = server_root
+        client = StoreClient(f"http://127.0.0.1:{port}", worker_id="wtel")
+        recorded = client.post_telemetry(
+            "wtel",
+            [{"name": "worker.cells.completed", "kind": "counter",
+              "value": 3.0}],
+            spans=[{"name": "runner.cell", "seconds": 0.25,
+                    "labels": {"cell": 0}}],
+            host="testhost", pid=os.getpid())
+        assert recorded["recorded"] == {"points": 1, "spans": 1}
+        read = _get(port, "/api/telemetry?name=worker.cells.completed")
+        assert read["points"][0]["worker"] == "wtel"
+        assert read["points"][0]["value"] == 3.0
+        totals = {t["name"]: t["total"] for t in read["totals"]}
+        assert totals["worker.cells.completed"] == 3.0
+        roster = _get(port, "/api/workers")["workers"]
+        entry = next(w for w in roster if w["worker"] == "wtel")
+        assert entry["alive"] is True
+        assert entry["pid"] == os.getpid()
+
+    def test_follow_campaign_survives_restart(self, tmp_path):
+        """The ``repro top`` stream consumer resumes across a server restart.
+
+        A campaign is half-drained, the server shuts down mid-stream (the
+        follower sees the ``shutdown`` event), a new server binds the same
+        port, and the drain finishes — the follower must yield every cell
+        exactly once plus the terminal run event.
+        """
+        from repro.store.client import StoreClient
+
+        spec = chaos_spec(*({"mode": "ok", "name": f"c{i}"}
+                            for i in range(3)))
+        root = tmp_path / "runs"
+        submission = submit_campaign(spec, root=root)
+        server = make_server(root, port=0)
+        port = server.server_address[1]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+
+        client = StoreClient(f"http://127.0.0.1:{port}", worker_id="follower",
+                             timeout=5.0, max_retries=8, backoff=0.05)
+        events = []
+        done = threading.Event()
+
+        def follow():
+            try:
+                for event in client.follow_campaign(submission.run_id,
+                                                    poll_timeout=2.0):
+                    events.append(event)
+            finally:
+                done.set()
+
+        follower = threading.Thread(target=follow, daemon=True)
+        follower.start()
+        work(root=root, run_id=submission.run_id, worker_id="w1", max_cells=1)
+        deadline = time.perf_counter() + 10
+        while time.perf_counter() < deadline and not any(
+                e["event"] == "cell" for e in events):
+            time.sleep(0.05)
+        server.shutdown()
+        server.server_close()
+        deadline = time.perf_counter() + 10
+        while time.perf_counter() < deadline and not any(
+                e["event"] == "shutdown" for e in events):
+            time.sleep(0.05)
+        assert any(e["event"] == "shutdown" for e in events)
+
+        server = make_server(root, port=port)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            work(root=root, run_id=submission.run_id, worker_id="w2")
+            assert done.wait(timeout=20), f"follower never finished: {events}"
+        finally:
+            server.shutdown()
+            server.server_close()
+        cells = [e for e in events if e["event"] == "cell"]
+        assert sorted(c["index"] for c in cells) == [0, 1, 2]
+        assert len(cells) == 3  # dedup across reconnects: each cell once
+        assert [e for e in events if e["event"] == "snapshot"] == events[:1]
+        assert events[-1]["event"] == "run"
+        assert events[-1]["status"] == "complete"
+
 
 # --------------------------------------------------------------------------
 class TestCLI:
@@ -671,3 +780,67 @@ class TestCLI:
         repro.run("table1", scale="smoke", root=root, catalog=False)
         assert cli_main(["store", "ingest", "--root", str(root)]) == 0
         assert "1 run(s)" in capsys.readouterr().out
+
+    def test_status_watch_reprints_until_interrupted(self, tmp_path,
+                                                     capsys, monkeypatch):
+        root = tmp_path / "runs"
+        repro.run("table1", scale="smoke", root=root)
+        ticks = iter([None, None])
+
+        def fake_sleep(seconds):
+            assert seconds == 1.0
+            if next(ticks, "done") == "done":
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(time, "sleep", fake_sleep)
+        assert cli_main(["status", "--root", str(root), "--watch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("table1-smoke") == 3  # one table per tick
+        assert "refreshing every 1s" in out
+
+    def test_status_shows_workers_column_while_draining(self, tmp_path,
+                                                        capsys):
+        spec = chaos_spec({"mode": "ok", "name": "a"},
+                          {"mode": "ok", "name": "b"})
+        root = tmp_path / "runs"
+        submission = submit_campaign(spec, root=root)
+
+        def header(text):
+            return next(l for l in text.splitlines()
+                        if l.startswith("campaign"))
+
+        assert cli_main(["status", "--root", str(root)]) == 0
+        assert "workers" not in header(capsys.readouterr().out)  # none leased
+        with Catalog(catalog_path(root)) as catalog:
+            JobQueue(catalog).claim("w1")
+            assert cli_main(["status", "--root", str(root)]) == 0
+            out = capsys.readouterr().out
+        assert "workers" in header(out)
+        line = next(l for l in out.splitlines()
+                    if l.startswith(submission.run_id))
+        assert " 1 " in line  # one distinct worker holds a lease
+
+    def test_top_once_local_and_server(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        repro.run("table1", scale="smoke", root=root)
+        assert cli_main(["top", "--root", str(root), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "table1-smoke" in out
+        assert "[" in out and "4/4" in out  # the progress bar
+
+        server = make_server(root, port=0)
+        port = server.server_address[1]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            assert cli_main(["top", "--server",
+                             f"http://127.0.0.1:{port}", "--once"]) == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+        out = capsys.readouterr().out
+        assert "table1-smoke" in out and "schema=v3" in out
+
+    def test_top_without_catalog_reports_error_frame(self, tmp_path, capsys):
+        assert cli_main(["top", "--root", str(tmp_path / "nope"),
+                         "--once"]) == 0
+        assert "no catalogue" in capsys.readouterr().out
